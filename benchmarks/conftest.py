@@ -1,0 +1,20 @@
+"""Shared helpers for the experiment benches.
+
+Each bench regenerates one experiment from DESIGN.md's index (the paper
+has no numbered tables/figures; the experiments are its claims made
+measurable). Tables print to the real terminal (capture disabled) so
+``pytest benchmarks/ --benchmark-only`` shows the paper-shaped rows.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def show(capsys):
+    """Print a Table to the terminal even under output capture."""
+
+    def _show(table):
+        with capsys.disabled():
+            table.print()
+
+    return _show

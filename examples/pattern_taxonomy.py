@@ -1,0 +1,56 @@
+"""The §9 question, answered by code: dissect an application's operations,
+measure their ACID 2.0 properties, and get pattern recommendations.
+
+Run:  python examples/pattern_taxonomy.py
+"""
+
+from repro.bank import build_account_registry
+from repro.core import Operation, TypeRegistry
+from repro.patterns import CATALOG, classify_operation_space
+from repro.patterns.classify import explain
+
+
+def bank_workload():
+    return [
+        Operation("DEPOSIT", {"amount": 100.0}, uniquifier="d1", ingress_time=1.0),
+        Operation("CLEAR_CHECK", {"amount": 40.0}, uniquifier="c1", ingress_time=2.0),
+        Operation("CLEAR_CHECK", {"amount": 25.0}, uniquifier="c2", ingress_time=3.0),
+        Operation("FEE", {"amount": 5.0}, uniquifier="f1", ingress_time=4.0),
+    ]
+
+
+def key_value_workload():
+    registry = TypeRegistry(initial_state=dict)
+    registry.register(
+        "WRITE", lambda s, op: {**s, op.args["key"]: op.args["value"]},
+        declared_commutative=False,
+    )
+    ops = [
+        Operation("WRITE", {"key": "x", "value": 1}, uniquifier="w1", ingress_time=1.0),
+        Operation("WRITE", {"key": "x", "value": 2}, uniquifier="w2", ingress_time=2.0),
+    ]
+    return registry, ops
+
+
+def main():
+    print("== the catalog (every named trick in the paper) ==")
+    for pattern in CATALOG:
+        print(f"  {pattern.name:28s} {pattern.paper_section}")
+    print()
+
+    print("== dissecting the banking operation space ==")
+    profile = classify_operation_space(build_account_registry(), bank_workload())
+    print(explain(profile))
+    print()
+
+    print("== dissecting a raw READ/WRITE key-value space ==")
+    registry, ops = key_value_workload()
+    profile = classify_operation_space(registry, ops)
+    print(explain(profile))
+    print()
+    print("ok: WRITEs flagged non-commutative; the classifier points at")
+    print("    operation-centric capture as the refactoring target (§6.5)")
+
+
+if __name__ == "__main__":
+    main()

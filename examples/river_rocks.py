@@ -1,0 +1,63 @@
+"""The paper's core image (§2.2): crossing a river rock to rock, always
+keeping one foot on solid ground — the generic process-pair executor.
+
+Run:  python examples/river_rocks.py
+"""
+
+from repro.cluster import CheckpointCadence, PairedAlgorithm
+from repro.net import Network
+from repro.sim import Simulator
+
+
+def make_step():
+    """A 12-step batch job. The step function is idempotent: re-running a
+    step from a checkpointed state has the business impact of one run."""
+
+    def step(state, step_index):
+        return {"processed": sorted(set(state["processed"]) | {step_index})}
+
+    return step
+
+
+def run(cadence, crash_at, **kwargs):
+    sim = Simulator(seed=3)
+    network = Network(sim)
+    pair = PairedAlgorithm(
+        sim, network, step=make_step(), total_steps=12,
+        initial_state={"processed": []}, cadence=cadence, **kwargs,
+    )
+    if crash_at is not None:
+        pair.crash_primary_at_step(crash_at)
+    result = sim.run_process(pair.run())
+    return result, sim.now
+
+
+def main():
+    print("== 12 idempotent steps, primary dies after step 8 ==")
+    for cadence, kwargs, label in (
+        (CheckpointCadence.EVERY_STEP, {}, "sync every step (1984 flavor)"),
+        (CheckpointCadence.EVERY_N, {"batch_size": 6}, "batched every 6 (1986 flavor)"),
+        (CheckpointCadence.ASYNC, {"async_period": 0.08}, "async periodic (log-shipping flavor)"),
+    ):
+        result, elapsed = run(cadence, crash_at=8, **kwargs)
+        complete = result.final_state["processed"] == list(range(12))
+        print(f"  {label:38s} steps redone: {result.steps_redone:2d}  "
+              f"elapsed: {elapsed * 1e3:6.1f} ms  complete: {complete}")
+        assert complete
+    print()
+    print("== the same cadences with no crash: what the safety costs ==")
+    for cadence, kwargs, label in (
+        (CheckpointCadence.EVERY_STEP, {}, "sync every step"),
+        (CheckpointCadence.EVERY_N, {"batch_size": 6}, "batched every 6"),
+        (CheckpointCadence.ASYNC, {"async_period": 0.08}, "async periodic"),
+    ):
+        result, elapsed = run(cadence, crash_at=None, **kwargs)
+        print(f"  {label:38s} checkpoints: {result.checkpoints_sent:2d}  "
+              f"elapsed: {elapsed * 1e3:6.1f} ms")
+    print()
+    print("ok: the work always completes exactly-once in effect; the")
+    print("    cadence only trades latency against redone steps (§2, §5.8)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept so ``pip install -e .`` works in offline environments whose setuptools
+cannot build PEP 660 editable wheels (no ``wheel`` package available);
+all project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,7 @@
+"""Result presentation and summary statistics for the experiment suite."""
+
+from repro.analysis.tables import Table
+from repro.analysis.stats import summarize, ratio
+from repro.analysis.sweep import SweepPoint, monotone, sweep
+
+__all__ = ["Table", "summarize", "ratio", "SweepPoint", "monotone", "sweep"]

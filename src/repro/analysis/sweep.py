@@ -1,0 +1,64 @@
+"""Parameter sweeps with repetition: the experiment harness's workhorse.
+
+Every bench has the same skeleton — for each parameter value, run the
+scenario under several seeds, aggregate, emit one table row. This helper
+captures that skeleton so new experiments are a function plus a spec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Sequence
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One aggregated row of a sweep."""
+
+    parameter: Any
+    means: Dict[str, float]
+    runs: int
+
+
+def sweep(
+    parameter_values: Sequence[Any],
+    run: Callable[[Any, int], Dict[str, float]],
+    seeds: Sequence[int] = (0, 1, 2),
+) -> List[SweepPoint]:
+    """For each parameter value, call ``run(value, seed)`` per seed and
+    average every numeric key of the returned dicts.
+
+    All runs of one parameter must return the same keys; boolean values
+    average as 0/1 rates.
+    """
+    if not parameter_values:
+        raise SimulationError("sweep needs at least one parameter value")
+    if not seeds:
+        raise SimulationError("sweep needs at least one seed")
+    points = []
+    for value in parameter_values:
+        samples = [run(value, seed) for seed in seeds]
+        keys = set(samples[0])
+        for sample in samples[1:]:
+            if set(sample) != keys:
+                raise SimulationError(
+                    f"inconsistent result keys at parameter {value!r}"
+                )
+        means = {
+            key: sum(float(sample[key]) for sample in samples) / len(samples)
+            for key in sorted(keys)
+        }
+        points.append(SweepPoint(parameter=value, means=means, runs=len(samples)))
+    return points
+
+
+def monotone(points: Sequence[SweepPoint], key: str, increasing: bool = True) -> bool:
+    """Does ``key``'s mean move monotonically along the sweep? (The usual
+    shape assertion.)"""
+    values = [point.means[key] for point in points]
+    pairs = zip(values, values[1:])
+    if increasing:
+        return all(a <= b + 1e-12 for a, b in pairs)
+    return all(a >= b - 1e-12 for a, b in pairs)

@@ -1,0 +1,33 @@
+"""Checks: immutable, uniquely numbered instruments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class Check:
+    """A check drawn on (bank, account) with a printed serial number.
+
+    The triple is the uniquifier our grandparents used (§6.2 footnote 5):
+    functionally dependent on the instrument itself, so every replica that
+    sees the check derives the same identity.
+    """
+
+    bank: str
+    account: str
+    number: int
+    payee: str
+    amount: float
+
+    def __post_init__(self) -> None:
+        if self.amount <= 0:
+            raise SimulationError(f"check amount must be positive, got {self.amount}")
+        if self.number <= 0:
+            raise SimulationError(f"check number must be positive, got {self.number}")
+
+    @property
+    def uniquifier(self) -> str:
+        return f"{self.bank}:{self.account}:{self.number}"

@@ -1,0 +1,96 @@
+"""Interbank check flow: the full §6.2 story across institutions.
+
+"The check is forwarded to your brother-in-law's bank. Later, when the
+check bounces, your account is debited $130." The clearing house routes a
+deposited check to its drawee bank on the simulator clock; the drawee
+decides against its (replicated) knowledge; the answer travels back and
+resolves the depositor-side hold or bounce. Everything rides the same
+uniquifier — the check number — end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Generator, Optional
+
+from repro.bank.check import Check
+from repro.bank.clearing import ClearOutcome, ReplicatedBank
+from repro.bank.policy import CustomerStanding, DepositDesk
+from repro.errors import SimulationError
+from repro.sim.events import Timeout
+from repro.sim.scheduler import Simulator
+
+
+class InterbankNetwork:
+    """Named banks plus the slow mail between them."""
+
+    def __init__(self, sim: Simulator, forwarding_delay: float = 2.0) -> None:
+        self.sim = sim
+        self.forwarding_delay = forwarding_delay
+        self.banks: Dict[str, ReplicatedBank] = {}
+        self.desks: Dict[str, DepositDesk] = {}
+        self.presentments = 0
+        self.bounces = 0
+
+    # ------------------------------------------------------------------
+
+    def add_bank(self, name: str, bank: ReplicatedBank,
+                 desk_branch: str = "branch0") -> None:
+        if name in self.banks:
+            raise SimulationError(f"bank {name!r} already registered")
+        self.banks[name] = bank
+        self.desks[name] = DepositDesk(bank, desk_branch)
+
+    def bank(self, name: str) -> ReplicatedBank:
+        if name not in self.banks:
+            raise SimulationError(f"unknown bank {name!r}")
+        return self.banks[name]
+
+    def desk(self, name: str) -> DepositDesk:
+        if name not in self.desks:
+            raise SimulationError(f"unknown bank {name!r}")
+        return self.desks[name]
+
+    # ------------------------------------------------------------------
+
+    def deposit_and_forward(
+        self,
+        depositor_bank: str,
+        check: Check,
+        standing: CustomerStanding,
+        drawee_branch: str = "branch0",
+    ) -> Generator[Any, Any, ClearOutcome]:
+        """The whole loop, on simulated time: credit the deposit at the
+        depositor's bank (hold per standing), mail the check to the drawee
+        bank, clear or bounce there, mail the answer back, and resolve the
+        deposit. Returns the drawee's decision."""
+        if check.bank not in self.banks:
+            raise SimulationError(f"check drawn on unknown bank {check.bank!r}")
+        desk = self.desk(depositor_bank)
+        deposit_id = desk.deposit_check(check, standing)
+        yield Timeout(self.forwarding_delay)  # the check rides the mail
+        drawee = self.bank(check.bank)
+        outcome = drawee.clear_check(drawee_branch, check)
+        self.presentments += 1
+        yield Timeout(self.forwarding_delay)  # the answer rides back
+        bounced = outcome is ClearOutcome.BOUNCED
+        if bounced:
+            self.bounces += 1
+        # DUPLICATE means the drawee had already cleared this very check
+        # (a re-presentment): the money moved exactly once, so the
+        # depositor side treats it as cleared.
+        desk.resolve(deposit_id, bounced=bounced)
+        return outcome
+
+    # ------------------------------------------------------------------
+
+    def conservation_check(self) -> float:
+        """Sum of all banks' (converged) balances — money the system
+        thinks exists. Useful for end-to-end invariants: forwarding moves
+        money between banks but the depositor credit + drawee debit for a
+        cleared check must net to the check amount exactly once."""
+        total = 0.0
+        for bank in self.banks.values():
+            bank.reconcile()
+            balances = list(bank.balances().values())
+            total += balances[0]
+        return total

@@ -1,0 +1,99 @@
+"""Monthly statements: issued, immutable, corrected next month.
+
+§6.2: "Once it is issued, it is permanent and immutable. Errors in
+March's statement may be adjusted in April's statement but March's
+statement is never modified." A statement captures every operation the
+replica has *learned of* since the previous close — so a check that was
+floating at midnight lands on whichever statement's close first sees it,
+"and that's no big deal."
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Set, Tuple
+
+from repro.core.replica import Replica
+from repro.errors import SimulationError
+
+# Balance-affecting entry kinds and the sign of their delta live in the
+# account state entries themselves: (uniquifier, kind, delta).
+
+
+@dataclass(frozen=True)
+class Statement:
+    """One issued, immutable statement."""
+
+    label: str
+    opening_balance: float
+    entries: Tuple[Tuple[str, str, float], ...]  # (uniquifier, kind, delta)
+    closing_balance: float
+
+    @property
+    def total_delta(self) -> float:
+        return sum(delta for _u, _k, delta in self.entries)
+
+
+class StatementBook:
+    """Issues statements over a replica's growing knowledge."""
+
+    def __init__(self, replica: Replica) -> None:
+        self.replica = replica
+        self.statements: List[Statement] = []
+        self._on_statement: Set[str] = set()
+
+    def close(self, label: str) -> Statement:
+        """Issue the next statement: everything learned and not yet on a
+        statement."""
+        state = self.replica.state
+        fresh = sorted(
+            (entry for entry in state["entries"] if entry[0] not in self._on_statement),
+            key=lambda entry: entry[0],
+        )
+        opening = self.statements[-1].closing_balance if self.statements else 0.0
+        closing = opening + sum(delta for _u, _k, delta in fresh)
+        statement = Statement(
+            label=label,
+            opening_balance=opening,
+            entries=tuple(fresh),
+            closing_balance=closing,
+        )
+        self.statements.append(statement)
+        self._on_statement.update(entry[0] for entry in fresh)
+        return statement
+
+    # ------------------------------------------------------------------
+    # Invariants
+
+    def check_exactly_once(self) -> None:
+        """Every known operation appears on exactly one statement; raises
+        on violation. (Run after a final close.)"""
+        seen: Set[str] = set()
+        for statement in self.statements:
+            for uniquifier, _kind, _delta in statement.entries:
+                if uniquifier in seen:
+                    raise SimulationError(f"{uniquifier} on two statements")
+                seen.add(uniquifier)
+        known = {entry[0] for entry in self.replica.state["entries"]}
+        missing = known - seen
+        if missing:
+            raise SimulationError(f"operations never issued on a statement: {missing}")
+
+    def chaining_consistent(self) -> bool:
+        """Closing balance of month k equals opening of month k+1, and the
+        last closing equals the replica's balance. Balances are sums of
+        the same deltas accumulated in different orders, so comparisons
+        tolerate float rounding."""
+        for earlier, later in zip(self.statements, self.statements[1:]):
+            if not math.isclose(
+                earlier.closing_balance, later.opening_balance, abs_tol=1e-6
+            ):
+                return False
+        if self.statements:
+            return math.isclose(
+                self.statements[-1].closing_balance,
+                self.replica.state["balance"],
+                abs_tol=1e-6,
+            )
+        return True

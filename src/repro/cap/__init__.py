@@ -1,0 +1,23 @@
+"""CAP and ACID 2.0 (§8), executable.
+
+"With Consistency, Availability, and Partition tolerance you can have any
+two at once but not three. We do not argue with this... many solutions
+are designed to take a relaxation of classic consistency to preserve both
+availability and partition tolerance."
+
+:class:`CapCell` replicates one counter at two sites under a chosen
+:class:`Stance`:
+
+- ``CP`` — classic consistency: while partitioned, only the quorum-token
+  side serves; the other refuses (unavailability, zero anomalies).
+- ``AP_LWW`` — availability with storage-centric merge: both sides serve;
+  healing keeps the last-written snapshot and silently drops the other
+  side's partition-era updates.
+- ``AP_OPS`` — availability with the paper's relaxation: both sides
+  serve uniquified increment *operations*; healing is op-union, so
+  nothing is lost. ACID 2.0 is what makes the third corner affordable.
+"""
+
+from repro.cap.cell import CapCell, Stance
+
+__all__ = ["CapCell", "Stance"]

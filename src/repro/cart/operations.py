@@ -1,0 +1,70 @@
+"""Cart operations and the canonical fold that materializes a cart."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List
+
+from repro.core.operation import auto_uniquifier
+from repro.errors import SimulationError
+
+KINDS = ("ADD", "CHANGE", "DELETE")
+
+
+@dataclass(frozen=True)
+class CartOp:
+    """One captured user intention, ledger-style (§6.1)."""
+
+    kind: str  # ADD | CHANGE | DELETE
+    item: str
+    quantity: int = 1
+    uniquifier: str = ""
+    time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise SimulationError(f"unknown cart op kind {self.kind!r}")
+        if not self.uniquifier:
+            object.__setattr__(self, "uniquifier", auto_uniquifier(f"cart-{self.kind}"))
+
+    def to_wire(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "item": self.item,
+            "quantity": self.quantity,
+            "uniquifier": self.uniquifier,
+            "time": self.time,
+        }
+
+    @staticmethod
+    def from_wire(data: Dict[str, Any]) -> "CartOp":
+        return CartOp(
+            kind=data["kind"],
+            item=data["item"],
+            quantity=data["quantity"],
+            uniquifier=data["uniquifier"],
+            time=data["time"],
+        )
+
+
+def canonical_order(ops: Iterable[CartOp]) -> List[CartOp]:
+    """Deterministic order: ingress time, then uniquifier. Every replica
+    with the same op set folds to the same cart."""
+    return sorted(ops, key=lambda op: (op.time, op.uniquifier))
+
+
+def materialize(ops: Iterable[CartOp]) -> Dict[str, int]:
+    """Fold operations into an item → quantity map.
+
+    ADD accumulates, CHANGE overwrites, DELETE removes. Applied in
+    canonical order, so the outcome is "predictable" in the §6.1 sense.
+    """
+    cart: Dict[str, int] = {}
+    for op in canonical_order(ops):
+        if op.kind == "ADD":
+            cart[op.item] = cart.get(op.item, 0) + op.quantity
+        elif op.kind == "CHANGE":
+            cart[op.item] = op.quantity
+        elif op.kind == "DELETE":
+            cart.pop(op.item, None)
+    return {item: qty for item, qty in cart.items() if qty > 0}

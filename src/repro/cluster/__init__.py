@@ -1,0 +1,28 @@
+"""Nodes and failures.
+
+The paper's failure model is fail-fast (§2.2): "a component is either
+functioning correctly or simply stops functioning." A :class:`Node` groups
+the volatile pieces that die together — its processes, its network
+endpoint, its in-memory buffers — behind ``crash()``/``restart()``.
+:class:`FailureInjector` drives deterministic or randomized crash
+schedules, and :class:`Membership` tracks who is currently up.
+"""
+
+from repro.cluster.node import Node
+from repro.cluster.failure import FailureInjector, CrashPlan
+from repro.cluster.membership import Membership
+from repro.cluster.process_pair import (
+    CheckpointCadence,
+    PairedAlgorithm,
+    PairResult,
+)
+
+__all__ = [
+    "Node",
+    "FailureInjector",
+    "CrashPlan",
+    "Membership",
+    "CheckpointCadence",
+    "PairedAlgorithm",
+    "PairResult",
+]

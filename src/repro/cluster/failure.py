@@ -1,0 +1,75 @@
+"""Failure injection: deterministic plans and random MTTF/MTTR schedules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.cluster.node import Node
+from repro.errors import SimulationError
+from repro.sim.scheduler import Simulator
+
+
+@dataclass(frozen=True)
+class CrashPlan:
+    """One planned outage: ``node`` goes down at ``at`` and (optionally)
+    restarts at ``back_at``."""
+
+    node: str
+    at: float
+    back_at: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.back_at is not None and self.back_at <= self.at:
+            raise SimulationError(f"restart {self.back_at} not after crash {self.at}")
+
+
+class FailureInjector:
+    """Applies crash plans or a random crash/restart process to nodes."""
+
+    def __init__(self, sim: Simulator, nodes: Dict[str, Node]) -> None:
+        self.sim = sim
+        self.nodes = dict(nodes)
+
+    def install(self, plans: List[CrashPlan]) -> None:
+        """Schedule deterministic outages."""
+        for plan in plans:
+            node = self._node(plan.node)
+            self.sim.schedule_at(plan.at, node.crash, "injected")
+            if plan.back_at is not None:
+                self.sim.schedule_at(plan.back_at, node.restart)
+
+    def install_random(
+        self,
+        node_name: str,
+        mttf: float,
+        mttr: float,
+        stream: Optional[str] = None,
+    ) -> None:
+        """Exponential time-to-failure / time-to-repair process for a node.
+
+        Runs for the life of the simulation (each repair schedules the next
+        failure).
+        """
+        if mttf <= 0 or mttr <= 0:
+            raise SimulationError("mttf and mttr must be positive")
+        node = self._node(node_name)
+        rng = self.sim.rng.stream(stream or f"failures:{node_name}")
+
+        def schedule_crash() -> None:
+            self.sim.schedule(rng.expovariate(1.0 / mttf), do_crash)
+
+        def do_crash() -> None:
+            node.crash("random")
+            self.sim.schedule(rng.expovariate(1.0 / mttr), do_restart)
+
+        def do_restart() -> None:
+            node.restart()
+            schedule_crash()
+
+        schedule_crash()
+
+    def _node(self, name: str) -> Node:
+        if name not in self.nodes:
+            raise SimulationError(f"unknown node {name!r}")
+        return self.nodes[name]

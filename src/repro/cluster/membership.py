@@ -1,0 +1,47 @@
+"""A (perfect) membership view over a set of nodes.
+
+Real systems learn liveness through failure detectors; the paper abstracts
+that away, and so do we: membership reads node state directly. What the
+paper *does* care about — acting on stale knowledge — is modelled where it
+matters, in the replicas' data paths, not in the detector.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List
+
+from repro.cluster.node import Node
+from repro.errors import SimulationError
+
+
+class Membership:
+    """Tracks a named set of nodes and answers who is up."""
+
+    def __init__(self, nodes: Dict[str, Node]) -> None:
+        self._nodes: Dict[str, Node] = dict(nodes)
+
+    def add(self, node: Node) -> None:
+        if node.name in self._nodes:
+            raise SimulationError(f"duplicate member {node.name!r}")
+        self._nodes[node.name] = node
+
+    def alive(self) -> List[str]:
+        """Names of up nodes, in stable (insertion) order."""
+        return [name for name, node in self._nodes.items() if node.up]
+
+    def is_alive(self, name: str) -> bool:
+        return name in self._nodes and self._nodes[name].up
+
+    def node(self, name: str) -> Node:
+        if name not in self._nodes:
+            raise SimulationError(f"unknown member {name!r}")
+        return self._nodes[name]
+
+    def all_names(self) -> List[str]:
+        return list(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._nodes.values())

@@ -1,0 +1,98 @@
+"""A node: the unit of fail-fast failure.
+
+A node owns volatile things that die with it. Components register
+themselves in three ways:
+
+- ``adopt(process)`` — a simulated process to interrupt on crash;
+- ``on_crash(fn)`` — a hook run at crash time (e.g. ``wal.lose_volatile``);
+- ``on_restart(fn)`` — a hook run at restart (e.g. recovery/replay).
+
+The node's RPC :class:`~repro.net.rpc.Endpoint` (if attached via
+``attach_endpoint``) is stopped/restarted automatically. Durable state —
+anything on a :class:`~repro.storage.disk.Disk` — survives by construction
+because disks live outside the node.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+from repro.errors import CrashedError
+from repro.net.network import Network
+from repro.net.rpc import Endpoint
+from repro.sim.process import Process
+from repro.sim.scheduler import Simulator
+
+
+class Node:
+    """A crashable grouping of processes, hooks, and one endpoint."""
+
+    def __init__(self, sim: Simulator, name: str) -> None:
+        self.sim = sim
+        self.name = name
+        self.up = True
+        self.crash_count = 0
+        self.endpoint: Optional[Endpoint] = None
+        self._processes: List[Process] = []
+        self._crash_hooks: List[Callable[[], Any]] = []
+        self._restart_hooks: List[Callable[[], Any]] = []
+
+    # ------------------------------------------------------------------
+    # Registration
+
+    def attach_endpoint(self, network: Network, dedup: bool = False) -> Endpoint:
+        """Create and own this node's RPC endpoint (started immediately)."""
+        self.endpoint = Endpoint(network, self.name, dedup=dedup)
+        self.endpoint.start()
+        return self.endpoint
+
+    def adopt(self, process: Process) -> Process:
+        """Register a process to be killed when the node crashes."""
+        self._processes.append(process)
+        return process
+
+    def spawn(self, gen: Any, name: Optional[str] = None) -> Process:
+        """Spawn a process owned by this node."""
+        if not self.up:
+            raise CrashedError(f"node {self.name!r} is down")
+        return self.adopt(self.sim.spawn(gen, name=name or f"{self.name}.proc"))
+
+    def on_crash(self, hook: Callable[[], Any]) -> None:
+        self._crash_hooks.append(hook)
+
+    def on_restart(self, hook: Callable[[], Any]) -> None:
+        self._restart_hooks.append(hook)
+
+    # ------------------------------------------------------------------
+    # Failure
+
+    def crash(self, cause: Any = "crash") -> None:
+        """Fail fast: kill processes, drop the endpoint, run crash hooks."""
+        if not self.up:
+            return
+        self.up = False
+        self.crash_count += 1
+        self.sim.trace.emit(self.name, "node.crash", cause=str(cause))
+        self.sim.metrics.inc("cluster.crashes")
+        for process in self._processes:
+            process.interrupt(cause)
+        self._processes.clear()
+        if self.endpoint is not None:
+            self.endpoint.stop(cause)
+        for hook in self._crash_hooks:
+            hook()
+
+    def restart(self) -> None:
+        """Come back up: rejoin the network, run restart hooks."""
+        if self.up:
+            return
+        self.up = True
+        self.sim.trace.emit(self.name, "node.restart")
+        if self.endpoint is not None:
+            self.endpoint.restart()
+        for hook in self._restart_hooks:
+            hook()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "up" if self.up else "down"
+        return f"<Node {self.name!r} {state}>"

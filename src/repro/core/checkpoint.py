@@ -1,0 +1,83 @@
+"""Synchronous checkpoints OR apologies (§5.8).
+
+The paper's closing design rule: "either you have synchronous checkpoints
+to your backup or you must sometimes apologize for your behavior."
+:class:`SyncOrApologize` packages that choice as a reusable executor: a
+risk policy routes each operation either through a caller-supplied
+``coordinate`` step (the synchronous checkpoint — gather knowledge, pay
+latency) or straight to the local replica (a guess, remembered in the
+ledger, answerable later with an apology).
+
+The bank's coordinated clearing (:class:`repro.bank.ReplicatedBank`) is
+this pattern specialized; this module is the generic form for new
+applications.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable, Dict, Optional
+
+from repro.core.operation import Operation
+from repro.core.replica import Replica
+from repro.core.risk import RiskPolicy
+from repro.errors import RuleViolation
+
+
+class ExecutionMode(str, enum.Enum):
+    SYNC = "sync"       # coordinated first: the answer is (briefly) the truth
+    GUESS = "guess"     # local knowledge only: probabilistic enforcement
+    REFUSED = "refused" # the rule said no with the knowledge gathered
+
+
+class SyncOrApologize:
+    """Per-operation choice between coordination and guessing.
+
+    Parameters
+    ----------
+    replica:
+        Where operations ingress.
+    risk_policy:
+        Decides which operations deserve the synchronous checkpoint.
+    coordinate:
+        Zero-arg callable that synchronously gathers remote knowledge into
+        the replica (e.g. sync with every reachable peer). Its cost is the
+        caller's to model; its *benefit* is that the subsequent rule check
+        sees more of the truth.
+    """
+
+    def __init__(
+        self,
+        replica: Replica,
+        risk_policy: RiskPolicy,
+        coordinate: Callable[[], Any],
+    ) -> None:
+        self.replica = replica
+        self.risk_policy = risk_policy
+        self.coordinate = coordinate
+        self.counts: Dict[str, int] = {mode.value: 0 for mode in ExecutionMode}
+
+    def perform(self, op: Operation) -> ExecutionMode:
+        """Run one operation under the policy; returns how it went.
+
+        REFUSED means the business rule rejected it with whatever
+        knowledge the chosen mode gathered — a coordinated refusal is a
+        crisp "no", a local refusal is a best-effort one.
+        """
+        if self.risk_policy.requires_coordination(op):
+            self.coordinate()
+            mode = ExecutionMode.SYNC
+        else:
+            mode = ExecutionMode.GUESS
+        try:
+            self.replica.submit(op)
+        except RuleViolation:
+            self.counts[ExecutionMode.REFUSED.value] += 1
+            return ExecutionMode.REFUSED
+        self.counts[mode.value] += 1
+        return mode
+
+    @property
+    def guess_fraction(self) -> float:
+        executed = self.counts["sync"] + self.counts["guess"]
+        return self.counts["guess"] / executed if executed else 0.0

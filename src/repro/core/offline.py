@@ -1,0 +1,71 @@
+"""Offlineable clients (§1, §5.2).
+
+"This causes the server systems to look increasingly like offlineable
+client applications in that they do not know the authoritative truth."
+An :class:`OfflineSession` is the client end of that symmetry: it wraps a
+local :class:`~repro.core.replica.Replica`, accepts operations whether or
+not it is connected, and exchanges knowledge with its home replica on
+(re)connection. Working offline is not a special mode — it is the same
+guess-now-reconcile-later loop with a longer asynchrony window.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.guesses import Apology
+from repro.core.operation import Operation, TypeRegistry
+from repro.core.replica import Replica
+from repro.core.antientropy import sync_replicas
+from repro.core.rules import RuleEngine
+from repro.errors import SimulationError
+
+
+class OfflineSession:
+    """A client replica that can disconnect from its home replica."""
+
+    def __init__(
+        self,
+        name: str,
+        home: Replica,
+        rules: Optional[RuleEngine] = None,
+    ) -> None:
+        self.home = home
+        self.local = Replica(name, home.registry, rules=rules)
+        self.connected = True
+        self.offline_ops = 0
+        # Start with the home replica's current knowledge.
+        self.local.integrate(list(home.ops))
+
+    # ------------------------------------------------------------------
+
+    def disconnect(self) -> None:
+        self.connected = False
+
+    def connect(self) -> List[Apology]:
+        """Reconnect and exchange knowledge both ways. Returns the
+        apologies the merge surfaced (on either side)."""
+        self.connected = True
+        return sync_replicas(self.local, self.home)
+
+    def perform(self, op: Operation) -> bool:
+        """Do work wherever we are. Connected: the op reaches home
+        immediately (still a guess — home is itself a replica). Offline:
+        it queues in local knowledge until reconnection."""
+        accepted = self.local.submit(op)
+        if not accepted:
+            return False
+        if self.connected:
+            self.home.integrate([op])
+        else:
+            self.offline_ops += 1
+        return True
+
+    @property
+    def pending_for_home(self) -> int:
+        """Operations home has not seen yet."""
+        return len(self.local.ops.missing_from(self.home.ops))
+
+    def state(self):
+        """This client's best current guess at the state."""
+        return self.local.state

@@ -1,0 +1,88 @@
+"""OpSet: the memories (§5.7).
+
+A replica's knowledge is the set of operations it has seen, deduplicated
+by uniquifier. Merging two replicas' knowledge is set union — associative,
+commutative, idempotent by construction, which is why the *knowledge*
+always converges; whether the *state* folded from it converges is up to
+the operation types (checked by :mod:`repro.core.properties`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Set
+
+from repro.core.operation import Operation, TypeRegistry
+
+
+class OpSet:
+    """An insertion-ordered, uniquifier-deduplicated set of operations."""
+
+    def __init__(self, ops: Optional[Iterable[Operation]] = None) -> None:
+        self._ops: Dict[str, Operation] = {}
+        for op in ops or ():
+            self.add(op)
+
+    def add(self, op: Operation) -> bool:
+        """Add one op; returns False if the uniquifier was already seen."""
+        if op.uniquifier in self._ops:
+            return False
+        self._ops[op.uniquifier] = op
+        return True
+
+    def __contains__(self, item: object) -> bool:
+        if isinstance(item, Operation):
+            return item.uniquifier in self._ops
+        return item in self._ops
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def __iter__(self) -> Iterator[Operation]:
+        """Arrival order at this replica."""
+        return iter(self._ops.values())
+
+    def uniquifiers(self) -> Set[str]:
+        return set(self._ops)
+
+    def missing_from(self, other: "OpSet") -> List[Operation]:
+        """Operations present here that ``other`` lacks."""
+        return [op for uniq, op in self._ops.items() if uniq not in other._ops]
+
+    def merge(self, other: "OpSet") -> int:
+        """Union ``other`` into this set; returns how many ops were new."""
+        added = 0
+        for op in other:
+            if self.add(op):
+                added += 1
+        return added
+
+    def union(self, other: "OpSet") -> "OpSet":
+        """A new OpSet holding both sides' operations."""
+        result = OpSet(self)
+        result.merge(other)
+        return result
+
+    # ------------------------------------------------------------------
+    # Folding to state
+
+    def fold(self, registry: TypeRegistry) -> Any:
+        """State from applying ops in *arrival* order."""
+        state = registry.initial_state()
+        for op in self:
+            state = registry.apply(state, op)
+        return state
+
+    def canonical_fold(self, registry: TypeRegistry) -> Any:
+        """State from applying ops in a canonical (ingress-time,
+        uniquifier) order — identical at every replica with the same
+        knowledge, whatever the arrival orders were."""
+        state = registry.initial_state()
+        for op in self.canonical_order():
+            state = registry.apply(state, op)
+        return state
+
+    def canonical_order(self) -> List[Operation]:
+        return sorted(self._ops.values(), key=lambda op: (op.ingress_time, op.uniquifier))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<OpSet n={len(self)}>"

@@ -1,0 +1,385 @@
+"""Cluster wiring and N/R/W client coordination.
+
+The client is the coordinator (as Dynamo allows): a GET asks the key's
+preference list and needs R answers; the sibling frontier of everything
+returned is the result, with a merged *context* clock. A PUT increments
+the coordinator's entry on the context and needs W stores; when intended
+owners are unreachable the write lands on fallback nodes with a hint —
+availability over consistency, always accept the PUT.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Dict, Generator, List, Optional
+
+from repro.errors import QuicksandError, SimulationError, TimeoutError_
+from repro.net.latency import FixedLatency
+from repro.net.network import LinkConfig, Network
+from repro.net.rpc import Endpoint, RpcError
+from repro.sim.events import AllOf
+from repro.sim.scheduler import Simulator
+from repro.dynamo.node import DynamoNode
+from repro.dynamo.ring import HashRing
+from repro.dynamo.versions import VectorClock, VersionedValue, prune_dominated
+
+
+class QuorumUnavailable(QuicksandError):
+    """Could not gather the required R or W responses."""
+
+
+@dataclass
+class GetResult:
+    """What a GET hands the application: sibling values + merged context."""
+
+    siblings: List[VersionedValue]
+    context: VectorClock
+
+    @property
+    def values(self) -> List[Any]:
+        return [s.value for s in self.siblings]
+
+    @property
+    def conflicted(self) -> bool:
+        return len(self.siblings) > 1
+
+
+class DynamoCluster:
+    """N storage nodes on one fabric, plus client factories."""
+
+    def __init__(
+        self,
+        num_nodes: int = 5,
+        n: int = 3,
+        r: int = 2,
+        w: int = 2,
+        seed: int = 0,
+        message_latency: float = 0.001,
+        sim: Optional[Simulator] = None,
+        hinted_handoff: bool = True,
+        read_repair: bool = True,
+    ) -> None:
+        if not 1 <= r <= n or not 1 <= w <= n or n > num_nodes:
+            raise SimulationError(f"bad quorum config N={n} R={r} W={w}")
+        self.sim = sim or Simulator(seed=seed)
+        self.network = Network(
+            self.sim, default_link=LinkConfig(latency=FixedLatency(message_latency))
+        )
+        self.n, self.r, self.w = n, r, w
+        self.hinted_handoff = hinted_handoff
+        self.read_repair = read_repair
+        self.nodes: Dict[str, DynamoNode] = {
+            f"node{i}": DynamoNode(self.sim, self.network, f"node{i}")
+            for i in range(num_nodes)
+        }
+        self.ring = HashRing(list(self.nodes), vnodes=16)
+        self._client_ids = itertools.count(1)
+        self._register_merkle_handlers()
+
+    def client(self, name: Optional[str] = None) -> "DynamoClient":
+        return DynamoClient(self, name or f"dynclient{next(self._client_ids)}")
+
+    def alive(self, node_name: str) -> bool:
+        return self.network.is_attached(node_name)
+
+    def crash(self, node_name: str) -> None:
+        self.nodes[node_name].crash()
+
+    def restart(self, node_name: str) -> None:
+        self.nodes[node_name].restart()
+
+    def run_handoff_round(self) -> Generator[Any, Any, int]:
+        """Drive one hint-delivery pass on every node; returns total
+        delivered. Experiments call this after partitions heal."""
+        total = 0
+        for node in self.nodes.values():
+            if self.alive(node.name) and node.hints:
+                delivered = yield from node.deliver_hints()
+                total += delivered
+        return total
+
+    def run_anti_entropy_round(self) -> Generator[Any, Any, int]:
+        """Replica synchronization (Dynamo's Merkle-tree sync, modelled at
+        version granularity): every node pushes each key's sibling
+        frontier to that key's other intended owners. Returns versions
+        pushed. Idempotent once converged."""
+        pushed = 0
+        for node in list(self.nodes.values()):
+            if not self.alive(node.name):
+                continue
+            for key, versions in list(node.store.items()):
+                owners = self.ring.intended_owners(key, self.n)
+                for owner in owners:
+                    if owner == node.name or not self.network.reachable(node.name, owner):
+                        continue
+                    peer_clocks = {
+                        v.clock for v in self.nodes[owner].versions_of(key)
+                    }
+                    for version in versions:
+                        if any(pc.descends(version.clock) for pc in peer_clocks):
+                            continue
+                        yield from node.endpoint.call(
+                            owner, "PUT",
+                            {"key": key, "value": version.value,
+                             "clock": dict(version.clock.counters)},
+                            timeout=0.5, retries=1,
+                        )
+                        pushed += 1
+        if pushed:
+            self.sim.metrics.inc("dynamo.anti_entropy_pushes", pushed)
+        return pushed
+
+    # ------------------------------------------------------------------
+    # Merkle-digest anti-entropy (bucketed, message-efficient)
+
+    def _register_merkle_handlers(self) -> None:
+        from repro.dynamo.merkle import all_digests, bucket_of
+        from repro.dynamo.versions import VectorClock, VersionedValue
+
+        def handle_digests(endpoint, msg):
+            node = self.nodes[endpoint.name]
+            shared = self._shared_ownership_view(node, msg.src)
+            return {"digests": all_digests(shared, msg.payload["buckets"])}
+
+        def handle_sync_bucket(endpoint, msg):
+            node = self.nodes[endpoint.name]
+            buckets = msg.payload["buckets"]
+            bucket = msg.payload["bucket"]
+            # Integrate what the peer sent (only keys we should own).
+            for entry in msg.payload["versions"]:
+                key = entry["key"]
+                if endpoint.name not in self.ring.intended_owners(key, self.n):
+                    continue
+                node.store_version(
+                    key, VersionedValue(entry["value"], VectorClock(entry["clock"]))
+                )
+            # Reply with our versions of this bucket for keys the peer owns.
+            peer = msg.src
+            reply = []
+            for key, versions in node.store.items():
+                if bucket_of(key, buckets) != bucket:
+                    continue
+                if peer not in self.ring.intended_owners(key, self.n):
+                    continue
+                for version in versions:
+                    reply.append({"key": key, "value": version.value,
+                                  "clock": dict(version.clock.counters)})
+            return {"versions": reply}
+
+        for node in self.nodes.values():
+            node.endpoint.register("DIGESTS", handle_digests)
+            node.endpoint.register("SYNC_BUCKET", handle_sync_bucket)
+
+    def _shared_ownership_view(self, node: DynamoNode, peer: str) -> Dict[str, list]:
+        """The slice of a node's store that a Merkle comparison with
+        ``peer`` covers: keys whose intended owners include both sides —
+        the per-key-range trees real Dynamo keeps per replica pair."""
+        view = {}
+        for key, versions in node.store.items():
+            owners = self.ring.intended_owners(key, self.n)
+            if node.name in owners and peer in owners:
+                view[key] = versions
+        return view
+
+    def run_merkle_round(self, buckets: int = 16) -> Generator[Any, Any, Dict[str, int]]:
+        """One digest-first anti-entropy pass over every live node pair.
+
+        Returns message accounting: digest exchanges vs bucket payloads —
+        once converged, a round costs only the digest messages."""
+        from repro.dynamo.merkle import all_digests, bucket_of
+        from repro.dynamo.versions import VectorClock, VersionedValue
+
+        stats = {"digest_msgs": 0, "bucket_msgs": 0, "versions_moved": 0}
+        names = sorted(self.nodes)
+        for i, a_name in enumerate(names):
+            for b_name in names[i + 1:]:
+                if not (self.alive(a_name) and self.alive(b_name)):
+                    continue
+                if not self.network.reachable(a_name, b_name):
+                    continue
+                a = self.nodes[a_name]
+                reply = yield from a.endpoint.call(
+                    b_name, "DIGESTS", {"buckets": buckets}, timeout=0.5, retries=1
+                )
+                stats["digest_msgs"] += 1
+                theirs = reply["digests"]
+                shared = self._shared_ownership_view(a, b_name)
+                mine = all_digests(shared, buckets)
+                for bucket in range(buckets):
+                    if mine[bucket] == theirs[bucket]:
+                        continue
+                    payload = []
+                    for key, versions in shared.items():
+                        if bucket_of(key, buckets) != bucket:
+                            continue
+                        for version in versions:
+                            payload.append({"key": key, "value": version.value,
+                                            "clock": dict(version.clock.counters)})
+                    sync_reply = yield from a.endpoint.call(
+                        b_name, "SYNC_BUCKET",
+                        {"bucket": bucket, "buckets": buckets, "versions": payload},
+                        timeout=0.5, retries=1,
+                    )
+                    stats["bucket_msgs"] += 1
+                    stats["versions_moved"] += len(payload)
+                    for entry in sync_reply["versions"]:
+                        key = entry["key"]
+                        if a_name not in self.ring.intended_owners(key, self.n):
+                            continue
+                        a.store_version(
+                            key,
+                            VersionedValue(entry["value"], VectorClock(entry["clock"])),
+                        )
+                        stats["versions_moved"] += 1
+        self.sim.metrics.inc("dynamo.merkle_digest_msgs", stats["digest_msgs"])
+        self.sim.metrics.inc("dynamo.merkle_bucket_msgs", stats["bucket_msgs"])
+        return stats
+
+    def converged_on(self, key: str) -> bool:
+        """Do all live intended owners hold the same sibling frontier?"""
+        owners = [o for o in self.ring.intended_owners(key, self.n) if self.alive(o)]
+        frontiers = [
+            frozenset(v.clock for v in self.nodes[owner].versions_of(key))
+            for owner in owners
+        ]
+        return len(set(frontiers)) <= 1
+
+
+class DynamoClient:
+    """A coordinator endpoint implementing GET/PUT with sloppy quorum."""
+
+    def __init__(self, cluster: DynamoCluster, name: str) -> None:
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.name = name
+        self.endpoint = Endpoint(cluster.network, name)
+        self.endpoint.start()
+
+    # ------------------------------------------------------------------
+
+    def get(self, key: str) -> Generator[Any, Any, GetResult]:
+        """Read R replicas; returns the sibling frontier and its context.
+
+        Raises :class:`QuorumUnavailable` when fewer than R nodes answer.
+        """
+        targets = self.cluster.ring.preference_list(
+            key, self.cluster.n, alive=self._can_reach
+        )
+        responses = yield from self._scatter(targets, "GET", {"key": key})
+        if len(responses) < self.cluster.r:
+            raise QuorumUnavailable(f"GET {key!r}: {len(responses)} < R={self.cluster.r}")
+        versions: List[VersionedValue] = []
+        per_node_clocks: Dict[str, set] = {}
+        for target, payload in responses:
+            clocks = set()
+            for entry in payload["versions"]:
+                version = VersionedValue(entry["value"], VectorClock(entry["clock"]))
+                versions.append(version)
+                clocks.add(version.clock)
+            per_node_clocks[target] = clocks
+        siblings = prune_dominated(versions)
+        context = VectorClock()
+        for sibling in siblings:
+            context = context.merge(sibling.clock)
+        if len(siblings) > 1:
+            self.sim.metrics.inc("dynamo.sibling_gets")
+        if self.cluster.read_repair:
+            self._read_repair(key, siblings, per_node_clocks)
+        return GetResult(siblings=siblings, context=context)
+
+    def _read_repair(
+        self,
+        key: str,
+        siblings: List[VersionedValue],
+        per_node_clocks: Dict[str, set],
+    ) -> None:
+        """Push the sibling frontier back to any responding node that is
+        missing part of it (fire-and-forget, like Dynamo's read repair)."""
+        frontier_clocks = {sibling.clock for sibling in siblings}
+        for target, clocks in per_node_clocks.items():
+            missing = frontier_clocks - clocks
+            for sibling in siblings:
+                if sibling.clock in missing:
+                    self.endpoint.cast(
+                        target, "PUT",
+                        {"key": key, "value": sibling.value,
+                         "clock": dict(sibling.clock.counters)},
+                    )
+                    self.sim.metrics.inc("dynamo.read_repairs")
+
+    def put(
+        self, key: str, value: Any, context: Optional[VectorClock] = None
+    ) -> Generator[Any, Any, VectorClock]:
+        """Write with a context clock (from the preceding GET); returns the
+        new version's clock. Needs W stores; with hinted handoff enabled,
+        fallback nodes count toward W."""
+        clock = (context or VectorClock()).increment(self.name)
+        intended = self.cluster.ring.intended_owners(key, self.cluster.n)
+        if self.cluster.hinted_handoff:
+            targets = self.cluster.ring.preference_list(
+                key, self.cluster.n, alive=self._can_reach
+            )
+        else:
+            targets = [t for t in intended if self._can_reach(t)]
+        # Pair each fallback target with one of the intended owners it is
+        # standing in for, so its hint can be delivered home later.
+        missing_owners = [node for node in intended if node not in targets]
+        hint_map = dict(
+            zip((t for t in targets if t not in intended), missing_owners)
+        )
+        payloads = []
+        for target in targets:
+            payload = {"key": key, "value": value, "clock": dict(clock.counters)}
+            if target in hint_map:
+                payload["hint_for"] = hint_map[target]
+            payloads.append((target, payload))
+        responses = yield from self._scatter_pairs(payloads, "PUT")
+        if len(responses) < self.cluster.w:
+            raise QuorumUnavailable(f"PUT {key!r}: {len(responses)} < W={self.cluster.w}")
+        self.sim.metrics.inc("dynamo.puts")
+        return clock
+
+    # ------------------------------------------------------------------
+
+    def _can_reach(self, node_name: str) -> bool:
+        """This coordinator's failure-detector view: a node is usable if
+        it is up *and* on our side of any partition."""
+        return self.cluster.network.reachable(self.name, node_name)
+
+    def _scatter(
+        self, targets: List[str], verb: str, payload: Dict[str, Any]
+    ) -> Generator[Any, Any, List]:
+        return (yield from self._scatter_pairs([(t, payload) for t in targets], verb))
+
+    def _scatter_pairs(
+        self, pairs: List, verb: str
+    ) -> Generator[Any, Any, List]:
+        """Call all targets in parallel; returns (target, reply-payload)
+        for each successful reply."""
+        procs = [
+            (target, self.sim.spawn(
+                self._call_safe(target, verb, payload),
+                name=f"{self.name}.{verb}.{target}",
+            ))
+            for target, payload in pairs
+        ]
+        if not procs:
+            return []
+        results = yield AllOf([proc for _target, proc in procs])
+        return [
+            (target, results[proc.done])
+            for target, proc in procs
+            if results[proc.done] is not None
+        ]
+
+    def _call_safe(
+        self, target: str, verb: str, payload: Dict[str, Any]
+    ) -> Generator[Any, Any, Optional[Dict[str, Any]]]:
+        try:
+            result = yield from self.endpoint.call(
+                target, verb, dict(payload), timeout=0.05, retries=1
+            )
+            return result
+        except (TimeoutError_, RpcError):
+            return None

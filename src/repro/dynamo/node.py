@@ -1,0 +1,104 @@
+"""One Dynamo storage node: sibling storage plus hinted handoff."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.net.network import Network
+from repro.net.rpc import Endpoint
+from repro.sim.scheduler import Simulator
+from repro.dynamo.versions import VectorClock, VersionedValue, prune_dominated
+
+
+class DynamoNode:
+    """Stores, per key, the sibling frontier of versioned blobs.
+
+    ``hints`` holds writes accepted on behalf of a dead intended owner
+    (sloppy quorum); :meth:`deliver_hints` pushes them home when the
+    owner is reachable again.
+    """
+
+    def __init__(self, sim: Simulator, network: Network, name: str) -> None:
+        self.sim = sim
+        self.network = network
+        self.name = name
+        self.store: Dict[str, List[VersionedValue]] = {}
+        self.hints: List[Tuple[str, str, VersionedValue]] = []  # (intended, key, version)
+        self.endpoint = Endpoint(network, name)
+        self.endpoint.register("PUT", self._handle_put)
+        self.endpoint.register("GET", self._handle_get)
+        self.endpoint.start()
+
+    # ------------------------------------------------------------------
+    # Local storage
+
+    def store_version(self, key: str, version: VersionedValue) -> None:
+        existing = self.store.get(key, [])
+        self.store[key] = prune_dominated(existing + [version])
+
+    def versions_of(self, key: str) -> List[VersionedValue]:
+        return list(self.store.get(key, []))
+
+    # ------------------------------------------------------------------
+    # Handlers
+
+    def _handle_put(self, _ep: Endpoint, msg: Any) -> Dict[str, Any]:
+        key = msg.payload["key"]
+        version = VersionedValue(
+            value=msg.payload["value"],
+            clock=VectorClock(msg.payload["clock"]),
+        )
+        hint_for: Optional[str] = msg.payload.get("hint_for")
+        if hint_for and hint_for != self.name:
+            self.hints.append((hint_for, key, version))
+            self.sim.metrics.inc("dynamo.hinted_writes")
+        self.store_version(key, version)
+        return {"stored": True}
+
+    def _handle_get(self, _ep: Endpoint, msg: Any) -> Dict[str, Any]:
+        key = msg.payload["key"]
+        versions = self.versions_of(key)
+        return {
+            "versions": [
+                {"value": v.value, "clock": dict(v.clock.counters)} for v in versions
+            ]
+        }
+
+    # ------------------------------------------------------------------
+    # Hinted handoff
+
+    def deliver_hints(self) -> Any:
+        """A generator process: push each hint to its intended owner if
+        reachable; keep the rest for later. Returns delivered count."""
+        remaining: List[Tuple[str, str, VersionedValue]] = []
+        delivered = 0
+        for intended, key, version in self.hints:
+            if not self.network.reachable(self.name, intended):
+                remaining.append((intended, key, version))
+                continue
+            try:
+                yield from self.endpoint.call(
+                    intended, "PUT",
+                    {"key": key, "value": version.value,
+                     "clock": dict(version.clock.counters)},
+                    timeout=0.5, retries=1,
+                )
+                delivered += 1
+            except Exception:  # noqa: BLE001 - owner died again; retry later
+                remaining.append((intended, key, version))
+        self.hints = remaining
+        if delivered:
+            self.sim.metrics.inc("dynamo.hints_delivered", delivered)
+        return delivered
+
+    # ------------------------------------------------------------------
+    # Failure
+
+    def crash(self) -> None:
+        """Fail fast: stop serving. The store is modelled as durable (a
+        Dynamo node recovers its local disk on restart); hints are
+        volatile bookkeeping we conservatively keep."""
+        self.endpoint.stop("crash")
+
+    def restart(self) -> None:
+        self.endpoint.restart()

@@ -1,0 +1,79 @@
+"""Consistent hashing: the DHT under Dynamo.
+
+Nodes own positions on a 2^32 ring (several virtual nodes each for
+balance); a key's *preference list* is the first N distinct nodes walking
+clockwise from the key's hash. For sloppy quorum, the walk can skip dead
+nodes and keep extending — the substitute node holds the data with a hint
+for its intended owner.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.errors import SimulationError
+
+RING_BITS = 32
+RING_SIZE = 1 << RING_BITS
+
+
+def ring_hash(value: str) -> int:
+    digest = hashlib.sha256(value.encode()).digest()
+    return int.from_bytes(digest[:4], "big")
+
+
+class HashRing:
+    """Consistent-hash ring over named nodes with virtual nodes."""
+
+    def __init__(self, nodes: Sequence[str], vnodes: int = 8) -> None:
+        if not nodes:
+            raise SimulationError("ring needs at least one node")
+        if vnodes < 1:
+            raise SimulationError("vnodes must be >= 1")
+        self.nodes = list(nodes)
+        self.vnodes = vnodes
+        positions: List[Tuple[int, str]] = []
+        for node in nodes:
+            for v in range(vnodes):
+                positions.append((ring_hash(f"{node}#{v}"), node))
+        positions.sort()
+        self._positions = positions
+        self._hashes = [h for h, _node in positions]
+
+    def owner(self, key: str) -> str:
+        """The first node clockwise of the key."""
+        return self.preference_list(key, 1)[0]
+
+    def preference_list(
+        self,
+        key: str,
+        n: int,
+        alive: Optional[Callable[[str], bool]] = None,
+    ) -> List[str]:
+        """The first ``n`` distinct nodes clockwise from ``key``.
+
+        With ``alive`` given, dead nodes are skipped and the walk keeps
+        extending — the sloppy-quorum list. Without it, the strict
+        (intended) owners. Returns fewer than ``n`` when the ring runs
+        out of (live) nodes.
+        """
+        if n < 1:
+            raise SimulationError("preference list size must be >= 1")
+        start = bisect.bisect_right(self._hashes, ring_hash(key))
+        seen: List[str] = []
+        for offset in range(len(self._positions)):
+            _pos, node = self._positions[(start + offset) % len(self._positions)]
+            if node in seen:
+                continue
+            if alive is not None and not alive(node):
+                continue
+            seen.append(node)
+            if len(seen) == n:
+                break
+        return seen
+
+    def intended_owners(self, key: str, n: int) -> List[str]:
+        """The strict top-N owners, dead or alive (for hinted handoff)."""
+        return self.preference_list(key, n, alive=None)

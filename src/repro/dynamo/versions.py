@@ -1,0 +1,83 @@
+"""Vector clocks and versioned values.
+
+A vector clock maps node name → update counter. Clock A *descends* B when
+it is at least B everywhere (A saw everything B did). Two clocks neither
+of which descends the other are concurrent — their values are siblings,
+and the store keeps both for the application to reconcile (§6.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Tuple
+
+
+class VectorClock:
+    """An immutable-by-convention version vector."""
+
+    __slots__ = ("counters",)
+
+    def __init__(self, counters: Mapping[str, int] | None = None) -> None:
+        self.counters: Dict[str, int] = {
+            node: count for node, count in (counters or {}).items() if count > 0
+        }
+
+    def increment(self, node: str) -> "VectorClock":
+        """A new clock with ``node``'s counter bumped."""
+        merged = dict(self.counters)
+        merged[node] = merged.get(node, 0) + 1
+        return VectorClock(merged)
+
+    def merge(self, other: "VectorClock") -> "VectorClock":
+        """Pointwise max — the least clock descending both."""
+        merged = dict(self.counters)
+        for node, count in other.counters.items():
+            merged[node] = max(merged.get(node, 0), count)
+        return VectorClock(merged)
+
+    def descends(self, other: "VectorClock") -> bool:
+        """True if self >= other pointwise (self saw everything)."""
+        return all(
+            self.counters.get(node, 0) >= count
+            for node, count in other.counters.items()
+        )
+
+    def concurrent_with(self, other: "VectorClock") -> bool:
+        return not self.descends(other) and not other.descends(self)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, VectorClock) and self.counters == other.counters
+
+    def __hash__(self) -> int:
+        return hash(tuple(sorted(self.counters.items())))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        inner = ",".join(f"{n}:{c}" for n, c in sorted(self.counters.items()))
+        return f"VC({inner})"
+
+
+@dataclass(frozen=True)
+class VersionedValue:
+    """A blob with its version clock."""
+
+    value: Any
+    clock: VectorClock
+
+
+def prune_dominated(versions: Iterable[VersionedValue]) -> List[VersionedValue]:
+    """Drop versions whose clock is descended by another version's clock.
+
+    What remains is the sibling frontier: pairwise-concurrent versions
+    (plus exact duplicates collapsed).
+    """
+    frontier: List[VersionedValue] = []
+    for candidate in versions:
+        if any(existing.clock.descends(candidate.clock) for existing in frontier):
+            continue  # dominated (or an exact duplicate clock)
+        frontier = [
+            existing
+            for existing in frontier
+            if not candidate.clock.descends(existing.clock)
+        ]
+        frontier.append(candidate)
+    return frontier

@@ -1,0 +1,75 @@
+"""Exception hierarchy shared across the package.
+
+The hierarchy mirrors the paper's vocabulary: a crash is a fail-fast event
+(§2.2), a rule violation is the probabilistic-enforcement miss the
+application must apologize for (§5.2, §5.6), and an escrow overflow is the
+worst-case bound check of the escrow-locking sidebar (§5.3).
+"""
+
+from __future__ import annotations
+
+
+class QuicksandError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class SimulationError(QuicksandError):
+    """The discrete-event kernel was used incorrectly (e.g. negative delay)."""
+
+
+class CrashedError(QuicksandError):
+    """Raised inside a simulated process when its node fail-fast crashes,
+    or when interacting with a crashed component."""
+
+
+class TimeoutError_(QuicksandError):
+    """A simulated request/reply timed out.
+
+    Named with a trailing underscore to avoid shadowing the builtin while
+    still reading naturally at call sites (``except TimeoutError_``).
+    """
+
+
+class InterruptError(QuicksandError):
+    """A simulated process was interrupted (e.g. by a crash or a kill)."""
+
+    def __init__(self, cause: object = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class TransactionAborted(QuicksandError):
+    """A transaction was aborted; the system rules always permit this
+    ("transactions may abort without cause", §3.3)."""
+
+    def __init__(self, txn_id: object, reason: str = "") -> None:
+        super().__init__(f"transaction {txn_id} aborted: {reason}")
+        self.txn_id = txn_id
+        self.reason = reason
+
+
+class RuleViolation(QuicksandError):
+    """A business rule was (or would be) violated.
+
+    Under synchronous/coordinated enforcement this is raised before the
+    action takes effect; under probabilistic enforcement it is detected
+    after the fact during reconciliation and becomes an apology.
+    """
+
+    def __init__(self, rule: str, detail: str = "") -> None:
+        super().__init__(f"rule {rule!r} violated: {detail}")
+        self.rule = rule
+        self.detail = detail
+
+
+class EscrowOverflow(QuicksandError):
+    """An escrow operation could push the value out of its [min, max]
+    bounds in the worst case of all pending transactions."""
+
+
+class AllocationError(QuicksandError):
+    """A resource allocation could not be satisfied."""
+
+
+class ReconciliationError(QuicksandError):
+    """Sibling versions could not be merged automatically."""

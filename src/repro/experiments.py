@@ -1,0 +1,147 @@
+"""The experiment index, machine-readable.
+
+DESIGN.md's per-experiment table as package data: every experiment and
+ablation, the paper claim it reproduces, the modules that implement the
+pieces, and the bench that regenerates its table. Downstream users can
+enumerate what this reproduction covers without parsing markdown; the
+test suite checks the index stays consistent with the repository.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.analysis.tables import Table
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One reproduced claim."""
+
+    id: str
+    title: str
+    claim: str              # section + paraphrase of the paper's claim
+    modules: Tuple[str, ...]
+    bench: str              # path under benchmarks/
+
+
+EXPERIMENTS: Tuple[Experiment, ...] = (
+    Experiment(
+        "E1", "Tandem DP1 vs DP2 checkpointing",
+        "§3.2: log-combined checkpointing dramatically cuts WRITE latency and CPU",
+        ("repro.tandem",), "benchmarks/bench_e01_tandem_checkpointing.py",
+    ),
+    Experiment(
+        "E2", "Group commit: car vs bus",
+        "§3.2: shared buffer writes reduce latency under load",
+        ("repro.tandem.groupcommit", "repro.storage"),
+        "benchmarks/bench_e02_group_commit.py",
+    ),
+    Experiment(
+        "E3", "The acceptable erosion",
+        "§3.3: DP2 aborts in-flight txns on takeover; committed work never lost",
+        ("repro.tandem", "repro.cluster"), "benchmarks/bench_e03_erosion.py",
+    ),
+    Experiment(
+        "E4", "Log shipping loss window",
+        "§4: async shipping loses the unshipped tail; sync is safe but slow",
+        ("repro.logship",), "benchmarks/bench_e04_log_shipping.py",
+    ),
+    Experiment(
+        "E5", "Probabilistic business rules",
+        "§5.2: distribution + asynchrony ⇒ probabilities of enforcement",
+        ("repro.core.rules", "repro.core.antientropy"),
+        "benchmarks/bench_e05_probabilistic_rules.py",
+    ),
+    Experiment(
+        "E6", "Escrow vs exclusive locking",
+        "§5.3: commutative ops interleave; READs stop the party",
+        ("repro.core.escrow",), "benchmarks/bench_e06_escrow.py",
+    ),
+    Experiment(
+        "E7", "The $10,000 check",
+        "§5.5: per-operation risk trades latency for exposure",
+        ("repro.core.risk", "repro.bank"),
+        "benchmarks/bench_e07_risk_threshold.py",
+    ),
+    Experiment(
+        "E8", "Shopping cart on Dynamo",
+        "§6.1/§6.4: op-centric carts lose nothing; materialized resurrect deletes; LWW loses adds",
+        ("repro.dynamo", "repro.cart"), "benchmarks/bench_e08_cart_dynamo.py",
+    ),
+    Experiment(
+        "E9", "Replicated check clearing",
+        "§6.2/§7.6: headroom governs overdrafts; check numbers make clearing idempotent; statements exactly-once",
+        ("repro.bank",), "benchmarks/bench_e09_bank_clearing.py",
+    ),
+    Experiment(
+        "E10", "Over-booking vs over-provisioning",
+        "§7.1: never-apologize means declining business; the posture slides",
+        ("repro.resources.inventory",), "benchmarks/bench_e10_overbooking.py",
+    ),
+    Experiment(
+        "E11", "The seat-reservation pattern",
+        "§7.3: the pending timeout bounds untrusted agents' holds",
+        ("repro.resources.seats",), "benchmarks/bench_e11_seat_reservation.py",
+    ),
+    Experiment(
+        "E12", "ACID 2.0 convergence",
+        "§7.6/§8: same ops ⇒ same state, any order; convergence paces with gossip",
+        ("repro.core",), "benchmarks/bench_e12_acid2_convergence.py",
+    ),
+    Experiment(
+        "A1", "Hinted handoff availability",
+        "§6.1: sloppy quorum keeps PUTs available past strict-quorum failure",
+        ("repro.dynamo",), "benchmarks/bench_a01_hinted_handoff.py",
+    ),
+    Experiment(
+        "A2", "CAP stances",
+        "§8: relaxing consistency to ACID 2.0 buys availability without loss",
+        ("repro.cap",), "benchmarks/bench_a02_cap_stances.py",
+    ),
+    Experiment(
+        "A3", "Workflow duplication",
+        "§5.4: derived uniquifiers collapse over-enthusiastic replicas' work",
+        ("repro.workflow",), "benchmarks/bench_a03_workflow_duplication.py",
+    ),
+    Experiment(
+        "A4", "Gossip vs message loss",
+        "§7.6: anti-entropy degrades gracefully, never fails, under loss",
+        ("repro.gossip",), "benchmarks/bench_a04_gossip_loss.py",
+    ),
+    Experiment(
+        "A5", "Managing the probabilities",
+        "§5.5/§5.6: an adaptive threshold holds the apology-rate target",
+        ("repro.core.risk",), "benchmarks/bench_a05_adaptive_risk.py",
+    ),
+    Experiment(
+        "A6", "Checkpoint cadence",
+        "§2/§5.8: cadence trades checkpoint cost against redone work",
+        ("repro.cluster.process_pair",),
+        "benchmarks/bench_a06_checkpoint_cadence.py",
+    ),
+)
+
+
+def by_id(experiment_id: str) -> Experiment:
+    for experiment in EXPERIMENTS:
+        if experiment.id == experiment_id:
+            return experiment
+    raise SimulationError(f"unknown experiment {experiment_id!r}")
+
+
+def index() -> Dict[str, Experiment]:
+    return {experiment.id: experiment for experiment in EXPERIMENTS}
+
+
+def summary_table() -> Table:
+    """The DESIGN.md experiment index as a Table."""
+    table = Table(
+        "Building on Quicksand — experiment index",
+        ["id", "title", "bench"],
+    )
+    for experiment in EXPERIMENTS:
+        table.add_row(experiment.id, experiment.title, experiment.bench)
+    return table

@@ -1,0 +1,19 @@
+"""Log shipping (§4): asynchronous state capture across datacenters.
+
+A primary database commits locally (WAL flush) and acknowledges the
+client; a shipper sends the durable log to a backup datacenter over a
+high-latency link "sometime after the user request is acknowledged". The
+window between ack and ship is where committed work can be lost: on
+takeover the backup "will move ahead without knowledge of the locked up
+work" (§4.2).
+
+- :class:`LogShippingSystem` — two symmetric :class:`DatabaseReplica`
+  sites, async or sync shipping, fail-over, and §5.1 orphan resurrection
+  with either policy (discard, or reapply and count the reordering
+  anomalies).
+"""
+
+from repro.logship.replica import DatabaseReplica
+from repro.logship.system import LogShippingSystem, ShipMode
+
+__all__ = ["DatabaseReplica", "LogShippingSystem", "ShipMode"]

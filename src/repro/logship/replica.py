@@ -1,0 +1,114 @@
+"""One database site: endpoint, WAL on a disk, replayed state.
+
+Replicas are symmetric — either side can serve (be the primary) and
+either can replay the peer's shipped log. Serving-side commit writes the
+transaction's records and a COMMIT record to the local WAL and flushes;
+replay-side SHIP applies records in order and remembers applied
+transactions by uniquifier, which is what makes re-shipping idempotent.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Set
+
+from repro.net.network import Network
+from repro.net.rpc import Endpoint
+from repro.sim.scheduler import Simulator
+from repro.storage.disk import Disk
+from repro.storage.wal import WriteAheadLog
+
+
+class DatabaseReplica:
+    """A site in the log-shipping pair."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        name: str,
+        disk_service_time: float = 0.005,
+        disk_per_item_time: float = 0.0001,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.disk = Disk(
+            sim, name=f"{name}.disk",
+            service_time=disk_service_time, per_item_time=disk_per_item_time,
+        )
+        self.wal = WriteAheadLog(sim, self.disk, name=f"{name}.wal")
+        self.state: Dict[Any, Any] = {}
+        self.last_write_time: Dict[Any, float] = {}
+        self.committed_local: Set[str] = set()   # txns this site decided
+        self.applied_txns: Set[str] = set()      # txns applied (own + replayed)
+        self.shipped_lsn = 0                     # how far we've shipped to the peer
+        self._staged: Dict[str, Dict[Any, Any]] = {}
+        self.endpoint = Endpoint(network, name)
+        self.endpoint.register("SHIP", self._handle_ship)
+        self.endpoint.register("GET", self._handle_get)
+        self.endpoint.start()
+
+    # ------------------------------------------------------------------
+    # Serving side
+
+    def commit_transaction(self, txn_id: str, writes: Dict[Any, Any]) -> Generator[Any, Any, None]:
+        """Log + flush one transaction locally. Idempotent by txn_id."""
+        if txn_id in self.applied_txns:
+            return
+        for key, value in writes.items():
+            self.wal.append("WRITE", txn_id=txn_id, key=key, value=value)
+        self.wal.append("COMMIT", txn_id=txn_id)
+        yield from self.wal.flush()
+        self._apply(txn_id, writes)
+        self.committed_local.add(txn_id)
+
+    def _apply(self, txn_id: str, writes: Dict[Any, Any]) -> None:
+        self.state.update(writes)
+        for key in writes:
+            self.last_write_time[key] = self.sim.now
+        self.applied_txns.add(txn_id)
+
+    def unshipped_records(self) -> List[Dict[str, Any]]:
+        """Durable records not yet shipped to the peer, as wire payloads."""
+        records = self.wal.records_between(self.shipped_lsn, self.wal.durable_lsn)
+        return [
+            {"lsn": r.lsn, "kind": r.kind, "txn": r.txn_id, **r.payload}
+            for r in records
+        ]
+
+    # ------------------------------------------------------------------
+    # Replay side
+
+    def _handle_ship(self, _ep: Endpoint, msg: Any) -> Dict[str, Any]:
+        for record in msg.payload["records"]:
+            self.replay_record(record)
+        self.sim.metrics.inc(f"logship.{self.name}.ship_batches")
+        return {"applied_through": msg.payload["records"][-1]["lsn"]
+                if msg.payload["records"] else 0}
+
+    def replay_record(self, record: Dict[str, Any]) -> None:
+        """Apply one shipped record. Already-applied txns are skipped —
+        the uniquifier makes replay idempotent."""
+        txn_id = record["txn"]
+        if txn_id in self.applied_txns:
+            return
+        if record["kind"] == "WRITE":
+            self._staged.setdefault(txn_id, {})[record["key"]] = record["value"]
+        elif record["kind"] == "COMMIT":
+            self._apply(txn_id, self._staged.pop(txn_id, {}))
+
+    def _handle_get(self, _ep: Endpoint, msg: Any) -> Dict[str, Any]:
+        return {"value": self.state.get(msg.payload["key"])}
+
+    # ------------------------------------------------------------------
+    # Failure
+
+    def crash(self) -> None:
+        """Fail fast. The WAL's volatile tail is empty (we flush at
+        commit), so the crash loses availability, not durability — the
+        durable-but-unshipped tail is what gets *locked up* (§5.1)."""
+        self.wal.lose_volatile()
+        self._staged.clear()
+        self.endpoint.stop("crash")
+
+    def restart(self) -> None:
+        self.endpoint.restart()

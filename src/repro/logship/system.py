@@ -1,0 +1,232 @@
+"""The log-shipping pair: shipping modes, fail-over, resurrection.
+
+This is the §4 example plus the §5.1 aftermath:
+
+- **async** (the deployed norm): commit acks after the local flush; a
+  shipper sends the log every ``ship_interval``. A fail-over loses the
+  committed-but-unshipped tail.
+- **sync** (the "unacceptable delay" alternative): commit additionally
+  ships through its own LSN and waits for the remote ack before the
+  client hears anything. Nothing is ever lost; every commit pays the WAN.
+
+After a fail-over, the old primary may come back with orphaned
+transactions "dawdling in the belly of the failed system". The recovery
+policy is a business choice: ``discard`` them (the common deployment
+reality), or ``reapply`` them — which re-executes old writes after the
+backup has moved on, and we count how many keys written since the
+takeover get clobbered by the resurrection (the §5.1 reordering hazard).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Any, Dict, Generator, List, Optional, Set
+
+from repro.errors import CrashedError, SimulationError
+from repro.net.latency import ExponentialLatency, FixedLatency, LatencyModel
+from repro.net.network import LinkConfig, Network
+from repro.net.rpc import Endpoint
+from repro.sim.events import Timeout
+from repro.sim.scheduler import Simulator
+from repro.sim.sync import Lock
+from repro.logship.replica import DatabaseReplica
+
+
+class ShipMode(str, enum.Enum):
+    ASYNC = "async"
+    SYNC = "sync"
+
+
+class LogShippingSystem:
+    """Two symmetric sites; one serves, the other replays."""
+
+    def __init__(
+        self,
+        mode: ShipMode = ShipMode.ASYNC,
+        ship_interval: float = 0.05,
+        wan_latency: Optional[LatencyModel] = None,
+        lan_latency: float = 0.0005,
+        disk_service_time: float = 0.005,
+        seed: int = 0,
+        sim: Optional[Simulator] = None,
+    ) -> None:
+        self.mode = ShipMode(mode)
+        self.ship_interval = ship_interval
+        self.sim = sim or Simulator(seed=seed)
+        self.network = Network(
+            self.sim, default_link=LinkConfig(latency=FixedLatency(lan_latency))
+        )
+        wan = wan_latency or ExponentialLatency(floor=0.02, mean_extra=0.005)
+        self.sites = {
+            name: DatabaseReplica(
+                self.sim, self.network, name, disk_service_time=disk_service_time
+            )
+            for name in ("east", "west")
+        }
+        self.network.set_link("east", "west", LinkConfig(latency=wan))
+        self.serving = "east"
+        self.failover_time: Optional[float] = None
+        self._ship_lock = Lock(self.sim, name="ship")
+        self._shipper_proc = None
+        self._work_available = self.sim.event("logship.work")
+        self._peer_back = self.sim.event("logship.peer_back")
+        self._txn_ids = itertools.count(1)
+        self.client = Endpoint(self.network, "lsclient")
+        self.client.start()
+        if self.mode is ShipMode.ASYNC:
+            self._start_shipper()
+
+    # ------------------------------------------------------------------
+    # Roles
+
+    @property
+    def primary(self) -> DatabaseReplica:
+        return self.sites[self.serving]
+
+    @property
+    def backup(self) -> DatabaseReplica:
+        return self.sites[self._peer(self.serving)]
+
+    @staticmethod
+    def _peer(name: str) -> str:
+        return "west" if name == "east" else "east"
+
+    # ------------------------------------------------------------------
+    # Client operations
+
+    def submit(self, writes: Dict[Any, Any], txn_id: Optional[str] = None) -> Generator[Any, Any, str]:
+        """Run one transaction at the serving site; returns its id once the
+        client would consider it committed."""
+        txn_id = txn_id or f"txn-{next(self._txn_ids)}"
+        start = self.sim.now
+        primary = self.primary
+        yield from primary.commit_transaction(txn_id, writes)
+        if self.mode is ShipMode.SYNC:
+            yield from self._ship_once()
+        else:
+            self._kick_shipper()
+        self.sim.metrics.observe("logship.commit_latency", self.sim.now - start)
+        self.sim.metrics.inc("logship.acked_commits")
+        return txn_id
+
+    def read(self, key: Any) -> Generator[Any, Any, Any]:
+        """Client read against the serving site (over the fabric)."""
+        result = yield from self.client.call(self.serving, "GET", {"key": key})
+        return result["value"]
+
+    # ------------------------------------------------------------------
+    # Shipping
+
+    def _start_shipper(self) -> None:
+        self._shipper_proc = self.sim.spawn(self._ship_loop(), name="shipper")
+
+    def _kick_shipper(self) -> None:
+        """Tell the shipper there is unshipped work (event-driven so an
+        idle system's event heap drains)."""
+        if not self._work_available.triggered:
+            self._work_available.trigger(None)
+
+    def _ship_loop(self) -> Generator[Any, Any, None]:
+        while True:
+            if not self.network.is_attached(self._peer(self.serving)):
+                # The backup is down: nothing to do until it returns.
+                self._peer_back = self.sim.event("logship.peer_back")
+                yield self._peer_back
+            if not self.primary.unshipped_records():
+                self._work_available = self.sim.event("logship.work")
+                yield self._work_available
+            yield Timeout(self.ship_interval)
+            try:
+                yield from self._ship_once()
+            except CrashedError:
+                return
+
+    def _ship_once(self) -> Generator[Any, Any, None]:
+        """Ship the durable-but-unshipped tail to the peer and advance the
+        cursor on ack. Serialized: one batch in flight."""
+        yield self._ship_lock.acquire()
+        try:
+            primary = self.primary
+            records = primary.unshipped_records()
+            if not records:
+                return
+            peer = self._peer(self.serving)
+            if not self.network.is_attached(peer):
+                return
+            yield from primary.endpoint.call(
+                peer, "SHIP", {"records": records}, timeout=5.0, retries=2
+            )
+            primary.shipped_lsn = records[-1]["lsn"]
+            self.sim.metrics.inc("logship.shipped_records", len(records))
+        finally:
+            self._ship_lock.release()
+
+    # ------------------------------------------------------------------
+    # Fail-over and resurrection
+
+    def fail_over(self) -> Dict[str, Any]:
+        """Crash the serving site; the backup takes over. Returns loss
+        accounting: which acked transactions are locked in the old
+        primary, invisible to the new one."""
+        old = self.primary
+        new = self.backup
+        if self._shipper_proc is not None:
+            self._shipper_proc.interrupt("failover")
+        old.crash()
+        self.serving = self._peer(self.serving)
+        self.failover_time = self.sim.now
+        lost = sorted(old.committed_local - new.applied_txns)
+        self.sim.metrics.inc("logship.takeovers")
+        self.sim.metrics.inc("logship.lost_commits", len(lost))
+        self.sim.trace.emit("logship", "takeover", new_primary=self.serving, lost=len(lost))
+        if self.mode is ShipMode.ASYNC:
+            self._start_shipper()
+        return {"lost_txns": lost, "new_primary": self.serving}
+
+    def recover_orphans(self, policy: str = "discard") -> Dict[str, Any]:
+        """Bring the crashed site back and deal with its orphaned tail.
+
+        ``policy="discard"`` — count the orphans and drop them (what most
+        deployments do, §4.2). ``policy="reapply"`` — replay the orphaned
+        transactions into the new primary; counts ``clobbered_keys``:
+        keys the new primary wrote *after* the takeover whose values the
+        resurrection just overwrote with older data.
+        """
+        if policy not in ("discard", "reapply"):
+            raise SimulationError(f"unknown recovery policy {policy!r}")
+        dead = self.backup  # after fail_over, the crashed site is the peer
+        dead.restart()
+        if not self._peer_back.triggered:
+            self._peer_back.trigger(None)
+        self._kick_shipper()
+        serving = self.primary
+        orphan_txns = sorted(dead.committed_local - serving.applied_txns)
+        clobbered: List[Any] = []
+        if policy == "reapply":
+            records = [
+                {"lsn": r.lsn, "kind": r.kind, "txn": r.txn_id, **r.payload}
+                for r in dead.wal.durable_records()
+                if r.txn_id in set(orphan_txns)
+            ]
+            cutoff = self.failover_time or 0.0
+            for record in records:
+                if (
+                    record["kind"] == "WRITE"
+                    and serving.last_write_time.get(record["key"], -1.0) >= cutoff
+                ):
+                    clobbered.append(record["key"])
+            for record in records:
+                serving.replay_record(record)
+            self.sim.metrics.inc("logship.resurrected", len(orphan_txns))
+            self.sim.metrics.inc("logship.clobbered_keys", len(clobbered))
+        else:
+            self.sim.metrics.inc("logship.discarded_orphans", len(orphan_txns))
+        return {"orphans": orphan_txns, "clobbered_keys": clobbered}
+
+    # ------------------------------------------------------------------
+
+    def durable_everywhere(self) -> Set[str]:
+        """Transactions applied at both sites."""
+        east, west = self.sites["east"], self.sites["west"]
+        return east.applied_txns & west.applied_txns

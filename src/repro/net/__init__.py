@@ -1,0 +1,34 @@
+"""Simulated message fabric.
+
+Models the unreliable component boundary the paper's systems communicate
+across: links with latency distributions, message loss, duplication and
+reordering, plus network partitions with schedules. On top of the raw
+fabric, :mod:`repro.net.rpc` provides the §2.1 request/retry discipline —
+requests carry uniquifiers, sources retry on timer expiry, and servers are
+expected to make the work idempotent.
+"""
+
+from repro.net.message import Message
+from repro.net.latency import (
+    LatencyModel,
+    FixedLatency,
+    UniformLatency,
+    ExponentialLatency,
+)
+from repro.net.network import Network, LinkConfig
+from repro.net.partition import PartitionSchedule
+from repro.net.rpc import Endpoint, RpcClient, rpc_call
+
+__all__ = [
+    "Message",
+    "LatencyModel",
+    "FixedLatency",
+    "UniformLatency",
+    "ExponentialLatency",
+    "Network",
+    "LinkConfig",
+    "PartitionSchedule",
+    "Endpoint",
+    "RpcClient",
+    "rpc_call",
+]

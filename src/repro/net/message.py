@@ -1,0 +1,40 @@
+"""The unit of communication on the simulated fabric."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+_msg_ids = itertools.count(1)
+
+
+@dataclass
+class Message:
+    """A message in flight between two named endpoints.
+
+    ``kind`` is the protocol verb (e.g. ``"WRITE"``, ``"CHECKPOINT"``,
+    ``"GOSSIP"``); ``payload`` is free-form protocol data. ``reply_to``
+    carries the request's message id on responses so RPC can correlate.
+    """
+
+    src: str
+    dst: str
+    kind: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+    msg_id: int = field(default_factory=lambda: next(_msg_ids))
+    reply_to: Optional[int] = None
+
+    def reply(self, kind: str, **payload: Any) -> "Message":
+        """Build the response message for this request."""
+        return Message(
+            src=self.dst,
+            dst=self.src,
+            kind=kind,
+            payload=payload,
+            reply_to=self.msg_id,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        tail = f" re:{self.reply_to}" if self.reply_to else ""
+        return f"<Msg#{self.msg_id} {self.src}->{self.dst} {self.kind}{tail}>"

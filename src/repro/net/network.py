@@ -1,0 +1,171 @@
+"""The network: named endpoints, links, loss, duplication, partitions.
+
+Delivery pipeline for ``send``:
+
+1. If the source or destination is detached (crashed), the message is
+   dropped silently — a dead component neither sends nor receives.
+2. If a partition separates the two endpoints, the message is dropped.
+   Partitions apply at *delivery* time too: a message in flight when the
+   partition cuts is lost, matching the fail-fast model where the network
+   offers no guarantees across the cut.
+3. The link's loss/duplication probabilities are sampled.
+4. A latency sample schedules delivery into the destination mailbox.
+
+Endpoints are :class:`~repro.sim.sync.Mailbox` instances registered by
+name; higher layers (RPC, cluster nodes) own the receive loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.errors import SimulationError
+from repro.net.latency import FixedLatency, LatencyModel
+from repro.net.message import Message
+from repro.sim.scheduler import Simulator
+from repro.sim.sync import Mailbox
+
+
+@dataclass
+class LinkConfig:
+    """Per-link delivery behaviour."""
+
+    latency: LatencyModel = field(default_factory=lambda: FixedLatency(0.001))
+    loss_probability: float = 0.0
+    duplicate_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss_probability <= 1.0:
+            raise SimulationError(f"bad loss probability {self.loss_probability}")
+        if not 0.0 <= self.duplicate_probability <= 1.0:
+            raise SimulationError(
+                f"bad duplicate probability {self.duplicate_probability}"
+            )
+
+
+class Network:
+    """Message fabric connecting named endpoints on one simulator."""
+
+    def __init__(self, sim: Simulator, default_link: Optional[LinkConfig] = None) -> None:
+        self.sim = sim
+        self.default_link = default_link or LinkConfig()
+        self._mailboxes: Dict[str, Mailbox] = {}
+        self._links: Dict[Tuple[str, str], LinkConfig] = {}
+        self._detached: Set[str] = set()
+        self._groups: Optional[List[Set[str]]] = None
+        self._rng = sim.rng.stream("net")
+
+    # ------------------------------------------------------------------
+    # Topology
+
+    def attach(self, name: str) -> Mailbox:
+        """Register an endpoint; returns its mailbox. Re-attach revives a
+        detached endpoint with a fresh (empty) mailbox."""
+        if name in self._mailboxes and name not in self._detached:
+            raise SimulationError(f"endpoint {name!r} already attached")
+        self._detached.discard(name)
+        self._mailboxes[name] = Mailbox(self.sim, name=f"net:{name}")
+        return self._mailboxes[name]
+
+    def detach(self, name: str) -> None:
+        """Take an endpoint off the network (crash). Its queued messages
+        are dropped and blocked receivers stay blocked forever (the node
+        process is expected to be interrupted separately)."""
+        self._require(name)
+        self._detached.add(name)
+        self._mailboxes[name].drain()
+
+    def is_attached(self, name: str) -> bool:
+        return name in self._mailboxes and name not in self._detached
+
+    def mailbox(self, name: str) -> Mailbox:
+        self._require(name)
+        return self._mailboxes[name]
+
+    def set_link(self, src: str, dst: str, config: LinkConfig, symmetric: bool = True) -> None:
+        """Override delivery behaviour for the (src, dst) link."""
+        self._links[(src, dst)] = config
+        if symmetric:
+            self._links[(dst, src)] = config
+
+    def link(self, src: str, dst: str) -> LinkConfig:
+        return self._links.get((src, dst), self.default_link)
+
+    # ------------------------------------------------------------------
+    # Partitions
+
+    def partition(self, groups: Iterable[Iterable[str]]) -> None:
+        """Split the network: only endpoints in the same group communicate.
+
+        Endpoints not named in any group form an implicit final group.
+        """
+        self._groups = [set(g) for g in groups]
+
+    def heal(self) -> None:
+        """Remove the partition."""
+        self._groups = None
+
+    @property
+    def partitioned(self) -> bool:
+        return self._groups is not None
+
+    def reachable(self, src: str, dst: str) -> bool:
+        """Can a message travel src -> dst right now?"""
+        if src in self._detached or dst in self._detached:
+            return False
+        if src not in self._mailboxes or dst not in self._mailboxes:
+            return False
+        if self._groups is None:
+            return True
+        src_group = self._group_of(src)
+        dst_group = self._group_of(dst)
+        return src_group == dst_group
+
+    def _group_of(self, name: str) -> int:
+        for index, group in enumerate(self._groups or []):
+            if name in group:
+                return index
+        return -1  # implicit remainder group
+
+    # ------------------------------------------------------------------
+    # Delivery
+
+    def send(self, msg: Message) -> bool:
+        """Inject a message. Returns True if it was put in flight (it may
+        still be lost to a partition cut or crash before delivery)."""
+        if not self.reachable(msg.src, msg.dst):
+            self.sim.trace.emit("net", "drop.unreachable", msg=str(msg))
+            self.sim.metrics.inc("net.dropped")
+            return False
+        config = self.link(msg.src, msg.dst)
+        if config.loss_probability and self._rng.random() < config.loss_probability:
+            self.sim.trace.emit("net", "drop.loss", msg=str(msg))
+            self.sim.metrics.inc("net.dropped")
+            return False
+        copies = 1
+        if (
+            config.duplicate_probability
+            and self._rng.random() < config.duplicate_probability
+        ):
+            copies = 2
+            self.sim.metrics.inc("net.duplicated")
+        for _ in range(copies):
+            delay = config.latency.sample(self._rng)
+            self.sim.schedule(delay, self._deliver, msg)
+        self.sim.metrics.inc("net.sent")
+        return True
+
+    def _deliver(self, msg: Message) -> None:
+        # Re-check reachability at delivery time: a partition or crash that
+        # happened while the message was in flight loses it.
+        if not self.reachable(msg.src, msg.dst):
+            self.sim.trace.emit("net", "drop.in_flight", msg=str(msg))
+            self.sim.metrics.inc("net.dropped")
+            return
+        self.sim.metrics.inc("net.delivered")
+        self._mailboxes[msg.dst].put(msg)
+
+    def _require(self, name: str) -> None:
+        if name not in self._mailboxes:
+            raise SimulationError(f"unknown endpoint {name!r}")

@@ -1,0 +1,74 @@
+"""Scheduled partitions: cut the network at t0, heal at t1, repeat.
+
+Experiments describe disconnection windows declaratively; the schedule
+installs sim callbacks that drive :meth:`Network.partition` /
+:meth:`Network.heal`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+from repro.errors import SimulationError
+from repro.net.network import Network
+
+
+@dataclass(frozen=True)
+class PartitionWindow:
+    """One partition episode: ``groups`` holds from ``start`` to ``end``."""
+
+    start: float
+    end: float
+    groups: Sequence[Sequence[str]]
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise SimulationError(f"empty partition window [{self.start}, {self.end}]")
+
+
+class PartitionSchedule:
+    """Installs a list of partition windows onto a network.
+
+    Windows must not overlap (the fabric models one partition at a time).
+    """
+
+    def __init__(self, network: Network, windows: Iterable[PartitionWindow]) -> None:
+        self.network = network
+        self.windows: List[PartitionWindow] = sorted(windows, key=lambda w: w.start)
+        for earlier, later in zip(self.windows, self.windows[1:]):
+            if later.start < earlier.end:
+                raise SimulationError(
+                    f"overlapping partition windows at {later.start}"
+                )
+
+    def install(self) -> None:
+        """Schedule all cut/heal callbacks on the simulator."""
+        sim = self.network.sim
+        for window in self.windows:
+            sim.schedule_at(window.start, self._cut, window)
+            sim.schedule_at(window.end, self.network.heal)
+
+    def _cut(self, window: PartitionWindow) -> None:
+        self.network.partition(window.groups)
+        self.network.sim.trace.emit(
+            "net", "partition.cut", groups=[sorted(g) for g in window.groups]
+        )
+
+
+def periodic_partitions(
+    network: Network,
+    groups: Sequence[Sequence[str]],
+    period: float,
+    duration: float,
+    count: int,
+    first_start: float = 0.0,
+) -> PartitionSchedule:
+    """Build ``count`` identical partition windows, one per ``period``."""
+    if duration >= period:
+        raise SimulationError("partition duration must be shorter than the period")
+    windows = [
+        PartitionWindow(first_start + i * period, first_start + i * period + duration, groups)
+        for i in range(count)
+    ]
+    return PartitionSchedule(network, windows)

@@ -1,0 +1,243 @@
+"""Request/reply on the fabric, with retries and idempotence.
+
+This is the paper's §2.1 in executable form:
+
+- The client issues a request and **retries on timer expiry**. Retries keep
+  the same *uniquifier* (the payload key ``"uniquifier"``), so the server
+  can correlate them with the original request.
+- A server endpoint with ``dedup=True`` remembers replies by uniquifier and
+  answers a retry from the cache instead of redoing the work — "the fault
+  tolerant server system had better make this work idempotent or the
+  retries would occasionally result in duplicative work."
+
+Handlers may be plain functions (fast-path, no simulated time) or
+generators (they can yield kernel effects, e.g. disk IO). Each request is
+served in its own process, so a slow handler does not block the endpoint.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from typing import Any, Callable, Dict, Generator, Optional
+
+from repro.errors import CrashedError, SimulationError, TimeoutError_
+from repro.net.message import Message
+from repro.net.network import Network
+from repro.sim.events import AnyOf, Event
+
+_uniq_counter = itertools.count(1)
+
+
+def fresh_uniquifier(prefix: str = "req") -> str:
+    """A process-wide unique request id (the check number)."""
+    return f"{prefix}-{next(_uniq_counter)}"
+
+
+def content_uniquifier(kind: str, payload: Dict[str, Any]) -> str:
+    """The §2.1 trick: derive the identity from the request itself ("an
+    MD5 hash of the entire incoming request"), so retries — even ones
+    rebuilt from scratch by a client that forgot it already asked — map
+    to the same work. Requires JSON-representable payloads; key order is
+    canonicalized."""
+    body = json.dumps({"kind": kind, "payload": payload}, sort_keys=True, default=str)
+    return f"md5-{hashlib.md5(body.encode()).hexdigest()}"
+
+
+class RpcError(Exception):
+    """The remote handler raised; carries the remote error text."""
+
+    def __init__(self, kind: str, detail: str) -> None:
+        super().__init__(f"{kind}: {detail}")
+        self.kind = kind
+        self.detail = detail
+
+
+class Endpoint:
+    """A named network endpoint that can serve requests and place calls."""
+
+    def __init__(self, network: Network, name: str, dedup: bool = False) -> None:
+        self.network = network
+        self.sim = network.sim
+        self.name = name
+        self.dedup = dedup
+        self.mailbox = network.attach(name)
+        self._handlers: Dict[str, Callable[..., Any]] = {}
+        self._pending: Dict[int, Event] = {}
+        self._replies_by_uniquifier: Dict[str, Message] = {}
+        self._inflight: Dict[str, list] = {}  # uniquifier -> queued duplicate msgs
+        self._proc = None
+
+    # ------------------------------------------------------------------
+    # Server side
+
+    def register(self, kind: str, handler: Callable[..., Any]) -> None:
+        """Install ``handler(endpoint, msg) -> payload-dict`` for ``kind``.
+
+        A generator handler may yield kernel effects; its return value is
+        the reply payload. Raising inside a handler sends an ``ERROR``
+        reply that surfaces as :class:`RpcError` at the caller.
+        """
+        self._handlers[kind] = handler
+
+    def on(self, kind: str) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+        """Decorator form of :meth:`register`."""
+
+        def decorate(handler: Callable[..., Any]) -> Callable[..., Any]:
+            self.register(kind, handler)
+            return handler
+
+        return decorate
+
+    def start(self) -> None:
+        """Begin serving. Idempotent while running."""
+        if self._proc is not None and self._proc.alive:
+            return
+        self._proc = self.sim.spawn(self._serve(), name=f"rpc:{self.name}")
+
+    def stop(self, cause: Any = "stopped") -> None:
+        """Crash/stop the endpoint: detach from the network, kill the serve
+        loop, fail outstanding client calls, and (fail-fast) forget all
+        volatile state including the dedup cache."""
+        if self._proc is not None:
+            self._proc.interrupt(cause)
+        if self.network.is_attached(self.name):
+            self.network.detach(self.name)
+        self._replies_by_uniquifier.clear()
+        self._inflight.clear()
+        pending, self._pending = self._pending, {}
+        for event in pending.values():
+            if not event.triggered:
+                event.fail(CrashedError(f"{self.name} stopped: {cause}"))
+
+    def restart(self) -> None:
+        """Rejoin the network with a fresh mailbox and serve again."""
+        self.mailbox = self.network.attach(self.name)
+        self._proc = self.sim.spawn(self._serve(), name=f"rpc:{self.name}")
+
+    def _serve(self) -> Generator[Any, Any, None]:
+        while True:
+            msg = yield self.mailbox.get()
+            if msg.reply_to is not None:
+                self._settle_reply(msg)
+            else:
+                self._dispatch(msg)
+
+    def _settle_reply(self, msg: Message) -> None:
+        event = self._pending.pop(msg.reply_to, None)
+        if event is not None and not event.triggered:
+            event.trigger(msg)
+        # Unmatched replies (late duplicates after a retry won) are dropped.
+
+    def _dispatch(self, msg: Message) -> None:
+        uniquifier = msg.payload.get("uniquifier")
+        if self.dedup and uniquifier is not None:
+            cached = self._replies_by_uniquifier.get(uniquifier)
+            if cached is not None:
+                resend = Message(
+                    src=self.name, dst=msg.src, kind=cached.kind,
+                    payload=dict(cached.payload), reply_to=msg.msg_id,
+                )
+                self.sim.metrics.inc(f"rpc.{self.name}.dedup_hits")
+                self.network.send(resend)
+                return
+            if uniquifier in self._inflight:
+                # A duplicate arrived while the original is still being
+                # served: park it and answer it from the same execution.
+                self._inflight[uniquifier].append(msg)
+                self.sim.metrics.inc(f"rpc.{self.name}.dedup_hits")
+                return
+            self._inflight[uniquifier] = []
+        handler = self._handlers.get(msg.kind)
+        if handler is None:
+            self.network.send(msg.reply("ERROR", error=f"no handler for {msg.kind}"))
+            return
+        self.sim.spawn(self._run_handler(handler, msg), name=f"rpc:{self.name}:{msg.kind}")
+
+    def _run_handler(self, handler: Callable[..., Any], msg: Message) -> Generator[Any, Any, None]:
+        try:
+            result = handler(self, msg)
+            if hasattr(result, "send"):  # generator handler: drive it
+                result = yield from result
+            payload = result if isinstance(result, dict) else {"result": result}
+            reply = msg.reply("OK", **payload)
+        except Exception as exc:  # noqa: BLE001 - becomes a remote error
+            reply = msg.reply("ERROR", error=str(exc))
+        uniquifier = msg.payload.get("uniquifier")
+        if self.dedup and uniquifier is not None:
+            self._replies_by_uniquifier[uniquifier] = reply
+        self.network.send(reply)
+        if self.dedup and uniquifier is not None:
+            # Answer any duplicates parked while we were executing.
+            for duplicate in self._inflight.pop(uniquifier, []):
+                self.network.send(
+                    Message(
+                        src=self.name, dst=duplicate.src, kind=reply.kind,
+                        payload=dict(reply.payload), reply_to=duplicate.msg_id,
+                    )
+                )
+        if False:  # pragma: no cover - makes this a generator even w/o yields
+            yield
+
+    # ------------------------------------------------------------------
+    # Client side
+
+    def call(
+        self,
+        dst: str,
+        kind: str,
+        payload: Optional[Dict[str, Any]] = None,
+        timeout: float = 1.0,
+        retries: int = 3,
+    ) -> Generator[Any, Any, Dict[str, Any]]:
+        """Place a call; use as ``result = yield from endpoint.call(...)``.
+
+        Retries keep the same uniquifier. Raises :class:`TimeoutError_`
+        after the final retry, :class:`RpcError` on a remote error reply.
+        """
+        if self._proc is None or not self._proc.alive:
+            raise SimulationError(f"endpoint {self.name!r} is not serving; call start()")
+        request_payload = dict(payload or {})
+        request_payload.setdefault("uniquifier", fresh_uniquifier(f"{self.name}:{kind}"))
+        attempts = retries + 1
+        for attempt in range(attempts):
+            msg = Message(src=self.name, dst=dst, kind=kind, payload=dict(request_payload))
+            reply_event = self.sim.event(name=f"reply:{msg.msg_id}")
+            self._pending[msg.msg_id] = reply_event
+            self.network.send(msg)
+            timer = self.sim.timeout_event(timeout)
+            results = yield AnyOf([reply_event, timer])
+            if reply_event in results:
+                reply: Message = reply_event.value
+                if reply.kind == "ERROR":
+                    raise RpcError("ERROR", reply.payload.get("error", ""))
+                return reply.payload
+            self._pending.pop(msg.msg_id, None)
+            self.sim.metrics.inc(f"rpc.{self.name}.retries")
+            self.sim.trace.emit(self.name, "rpc.retry", dst=dst, verb=kind, attempt=attempt + 1)
+        raise TimeoutError_(f"{self.name} -> {dst} {kind}: no reply after {attempts} attempts")
+
+    def cast(self, dst: str, kind: str, payload: Optional[Dict[str, Any]] = None) -> None:
+        """Fire-and-forget send."""
+        self.network.send(Message(src=self.name, dst=dst, kind=kind, payload=dict(payload or {})))
+
+
+class RpcClient(Endpoint):
+    """A client-only endpoint: starts its reply loop immediately."""
+
+    def __init__(self, network: Network, name: str) -> None:
+        super().__init__(network, name)
+        self.start()
+
+
+def rpc_call(
+    endpoint: Endpoint,
+    dst: str,
+    kind: str,
+    payload: Optional[Dict[str, Any]] = None,
+    timeout: float = 1.0,
+    retries: int = 3,
+) -> Generator[Any, Any, Dict[str, Any]]:
+    """Free-function alias for ``endpoint.call`` (reads better in loops)."""
+    return (yield from endpoint.call(dst, kind, payload, timeout=timeout, retries=retries))

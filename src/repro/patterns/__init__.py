@@ -1,0 +1,30 @@
+"""A taxonomy of loose-coupling patterns (the paper's §9 future work).
+
+"It seems that it would be of great value to dissect different
+applications in business environments to see the recurring patterns...
+Is there a taxonomy of patterns into which the various solutions can be
+cast?" This package is that dissection, executable:
+
+- :mod:`repro.patterns.catalog` — the named patterns the paper uses
+  (uniquifier, operation-centric capture, escrow, seat reservation,
+  over-booking slider, sync-or-apologize, fungible bucketing), each with
+  its ACID 2.0 profile, its paper section, and the module in this repo
+  that realizes it.
+- :mod:`repro.patterns.classify` — given an application's
+  :class:`~repro.core.operation.TypeRegistry` and sample operations,
+  measure the ACID 2.0 properties empirically and recommend which
+  patterns apply (e.g. a non-commutative type suggests recasting as
+  operation-centric capture; a numeric commutative type is an escrow
+  candidate).
+"""
+
+from repro.patterns.catalog import Pattern, CATALOG, pattern_by_name
+from repro.patterns.classify import OperationProfile, classify_operation_space
+
+__all__ = [
+    "Pattern",
+    "CATALOG",
+    "pattern_by_name",
+    "OperationProfile",
+    "classify_operation_space",
+]

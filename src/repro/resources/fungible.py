@@ -1,0 +1,77 @@
+"""Fungible pools (§7.4): you can't reserve room 301, but you can have a
+king non-smoking.
+
+Grants are idempotent by uniquifier: the same request (or its retry, or
+its over-zealous second execution at another replica) maps to the same
+unit. Units are interchangeable, so a redundant grant discovered later is
+simply returned to the pool — the fungibility is exactly what makes the
+apology cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.errors import SimulationError
+
+
+class FungiblePool:
+    """``capacity`` interchangeable units of one category."""
+
+    def __init__(self, category: str, capacity: int) -> None:
+        if capacity < 0:
+            raise SimulationError("capacity must be non-negative")
+        self.category = category
+        self.capacity = capacity
+        self._free: List[int] = list(range(capacity))
+        self._grants: Dict[str, int] = {}  # uniquifier -> unit
+        self.returned_redundant = 0
+
+    # ------------------------------------------------------------------
+
+    def allocate(self, uniquifier: str) -> Optional[int]:
+        """Grant one unit; a repeat of the same uniquifier returns the
+        same unit (idempotent). None when the pool is empty."""
+        if uniquifier in self._grants:
+            return self._grants[uniquifier]
+        if not self._free:
+            return None
+        unit = self._free.pop(0)
+        self._grants[uniquifier] = unit
+        return unit
+
+    def release(self, uniquifier: str) -> bool:
+        """Give a grant back (cancellation)."""
+        unit = self._grants.pop(uniquifier, None)
+        if unit is None:
+            return False
+        self._free.append(unit)
+        return True
+
+    def reconcile_with(self, other: "FungiblePool") -> int:
+        """Two replicas of the pool compare grants: any uniquifier granted
+        on both sides had its work done twice (§7.5); the duplicate unit
+        is returned here. Returns how many were returned."""
+        if other.category != self.category:
+            raise SimulationError("cannot reconcile different categories")
+        duplicated: Set[str] = set(self._grants) & set(other._grants)
+        returned = 0
+        for uniquifier in duplicated:
+            # Keep the other side's grant; return ours.
+            self.release(uniquifier)
+            returned += 1
+        self.returned_redundant += returned
+        return returned
+
+    # ------------------------------------------------------------------
+
+    @property
+    def free_count(self) -> int:
+        return len(self._free)
+
+    @property
+    def granted_count(self) -> int:
+        return len(self._grants)
+
+    def holder_of(self, uniquifier: str) -> Optional[int]:
+        return self._grants.get(uniquifier)

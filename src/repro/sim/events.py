@@ -1,0 +1,149 @@
+"""Waitable events and the effects processes yield to the kernel.
+
+An :class:`Event` is a one-shot broadcast: it is pending until someone calls
+:meth:`Event.trigger` (success, with a value) or :meth:`Event.fail`
+(failure, with an exception), after which every waiter is resumed. Events
+never un-trigger; waiting on an already-triggered event resumes immediately.
+
+Effects are plain descriptor objects; the kernel interprets them when a
+process yields:
+
+- ``yield Timeout(dt)`` — sleep for ``dt`` simulated seconds.
+- ``yield some_event`` — wait; the yield evaluates to the event's value.
+- ``yield some_process`` — wait for the process to finish (its ``done``
+  event); the yield evaluates to the process's return value.
+- ``yield AnyOf([...])`` — wait until any one completes; evaluates to a dict
+  mapping the completed events to their values.
+- ``yield AllOf([...])`` — wait until all complete; same dict shape.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, List, Optional
+
+from repro.errors import SimulationError
+
+
+class _Pending:
+    """Sentinel for "no value yet"."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<PENDING>"
+
+
+PENDING = _Pending()
+
+
+class Event:
+    """A one-shot waitable with an optional value or failure exception."""
+
+    __slots__ = ("sim", "name", "_value", "_exc", "_callbacks")
+
+    def __init__(self, sim: Any, name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self._value: Any = PENDING
+        self._exc: Optional[BaseException] = None
+        self._callbacks: Optional[List[Callable[["Event"], None]]] = []
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has succeeded or failed."""
+        return self._callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded. Only meaningful once triggered."""
+        return self.triggered and self._exc is None
+
+    @property
+    def value(self) -> Any:
+        """The success value. Raises if the event failed or is pending."""
+        if not self.triggered:
+            raise SimulationError(f"event {self.name!r} has no value yet")
+        if self._exc is not None:
+            raise self._exc
+        return self._value
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        """The failure exception, or None."""
+        return self._exc
+
+    def trigger(self, value: Any = None) -> "Event":
+        """Succeed the event, resuming all waiters with ``value``."""
+        self._settle(value, None)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Fail the event, raising ``exc`` inside all waiters."""
+        if not isinstance(exc, BaseException):
+            raise SimulationError(f"fail() needs an exception, got {exc!r}")
+        self._settle(PENDING, exc)
+        return self
+
+    def _settle(self, value: Any, exc: Optional[BaseException]) -> None:
+        if self.triggered:
+            raise SimulationError(f"event {self.name!r} triggered twice")
+        self._value = value
+        self._exc = exc
+        callbacks, self._callbacks = self._callbacks, None
+        assert callbacks is not None
+        for callback in callbacks:
+            callback(self)
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Run ``callback(self)`` when the event settles (now if settled)."""
+        if self.triggered:
+            callback(self)
+        else:
+            assert self._callbacks is not None
+            self._callbacks.append(callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "pending"
+        if self.triggered:
+            state = "failed" if self._exc is not None else "ok"
+        return f"<Event {self.name!r} {state}>"
+
+
+class Timeout:
+    """Effect: sleep for ``delay`` simulated seconds, then resume with
+    ``value`` (default None)."""
+
+    __slots__ = ("delay", "value")
+
+    def __init__(self, delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout: {delay}")
+        self.delay = float(delay)
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Timeout({self.delay})"
+
+
+class _Condition:
+    """Shared machinery for AnyOf/AllOf composite waits."""
+
+    __slots__ = ("events",)
+
+    def __init__(self, events: Iterable[Any]) -> None:
+        self.events = list(events)
+
+    def _as_events(self, sim: Any) -> List[Event]:
+        resolved = []
+        for item in self.events:
+            event = getattr(item, "done", item)
+            if not isinstance(event, Event):
+                raise SimulationError(f"cannot wait on {item!r}")
+            resolved.append(event)
+        return resolved
+
+
+class AnyOf(_Condition):
+    """Effect: resume when any contained event/process settles."""
+
+
+class AllOf(_Condition):
+    """Effect: resume when all contained events/processes settle."""

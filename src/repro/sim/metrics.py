@@ -1,0 +1,175 @@
+"""Measurement primitives for experiments: counters, histograms, series.
+
+All values are recorded against *simulated* time. The experiment harness
+reads these out after a run to print the paper-shaped tables.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional, Tuple
+
+
+class Counter:
+    """A monotonically adjustable named count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Counter {self.name}={self.value}>"
+
+
+class Histogram:
+    """Stores raw observations; computes summary stats on demand.
+
+    Raw storage is fine at simulation scale and keeps percentiles exact.
+    """
+
+    __slots__ = ("name", "values")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.values: List[float] = []
+
+    def observe(self, value: float) -> None:
+        self.values.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.values) / len(self.values) if self.values else math.nan
+
+    @property
+    def total(self) -> float:
+        return sum(self.values)
+
+    @property
+    def minimum(self) -> float:
+        return min(self.values) if self.values else math.nan
+
+    @property
+    def maximum(self) -> float:
+        return max(self.values) if self.values else math.nan
+
+    @property
+    def stdev(self) -> float:
+        n = len(self.values)
+        if n < 2:
+            return 0.0 if n == 1 else math.nan
+        mu = self.mean
+        return math.sqrt(sum((v - mu) ** 2 for v in self.values) / (n - 1))
+
+    def percentile(self, q: float) -> float:
+        """Exact percentile by linear interpolation; ``q`` in [0, 100]."""
+        if not self.values:
+            return math.nan
+        data = sorted(self.values)
+        if len(data) == 1:
+            return data[0]
+        rank = (q / 100.0) * (len(data) - 1)
+        low = int(math.floor(rank))
+        high = int(math.ceil(rank))
+        if low == high:
+            return data[low]
+        frac = rank - low
+        return data[low] * (1 - frac) + data[high] * frac
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": float(self.count),
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p99": self.percentile(99),
+            "min": self.minimum,
+            "max": self.maximum,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Histogram {self.name} n={self.count} mean={self.mean:.4g}>"
+
+
+class TimeSeries:
+    """(time, value) samples, e.g. queue depth over the run."""
+
+    __slots__ = ("name", "samples")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.samples: List[Tuple[float, float]] = []
+
+    def record(self, time: float, value: float) -> None:
+        self.samples.append((time, value))
+
+    def last(self) -> Optional[Tuple[float, float]]:
+        return self.samples[-1] if self.samples else None
+
+    def time_weighted_mean(self, end_time: Optional[float] = None) -> float:
+        """Mean of the step function defined by the samples."""
+        if not self.samples:
+            return math.nan
+        if end_time is None:
+            end_time = self.samples[-1][0]
+        area = 0.0
+        for (t0, v0), (t1, _v1) in zip(self.samples, self.samples[1:]):
+            area += v0 * (t1 - t0)
+        last_t, last_v = self.samples[-1]
+        if end_time > last_t:
+            area += last_v * (end_time - last_t)
+        span = end_time - self.samples[0][0]
+        return area / span if span > 0 else self.samples[0][1]
+
+
+class MetricsRegistry:
+    """Per-simulator registry; metric objects are created on first use."""
+
+    def __init__(self, sim: Any) -> None:
+        self._sim = sim
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._series: Dict[str, TimeSeries] = {}
+
+    def counter(self, name: str) -> Counter:
+        if name not in self._counters:
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def histogram(self, name: str) -> Histogram:
+        if name not in self._histograms:
+            self._histograms[name] = Histogram(name)
+        return self._histograms[name]
+
+    def series(self, name: str) -> TimeSeries:
+        if name not in self._series:
+            self._series[name] = TimeSeries(name)
+        return self._series[name]
+
+    def observe(self, name: str, value: float) -> None:
+        """Shorthand: record into the histogram ``name``."""
+        self.histogram(name).observe(value)
+
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        """Shorthand: bump the counter ``name``."""
+        self.counter(name).inc(amount)
+
+    def sample(self, name: str, value: float) -> None:
+        """Shorthand: record (now, value) into the series ``name``."""
+        self.series(name).record(self._sim.now, value)
+
+    def counters(self) -> Dict[str, float]:
+        return {name: c.value for name, c in sorted(self._counters.items())}
+
+    def histograms(self) -> Dict[str, Histogram]:
+        return dict(self._histograms)

@@ -1,0 +1,159 @@
+"""Simulated processes: generators driven by the kernel.
+
+A process is created from a generator via :meth:`Simulator.spawn`. Each
+``yield`` hands an effect (see :mod:`repro.sim.events`) to the kernel; the
+kernel resumes the generator when the effect completes. A process finishes
+when its generator returns (``done`` triggers with the return value) or
+raises (``done`` fails with the exception).
+
+Crashes are modelled with :meth:`Process.interrupt`: an
+:class:`~repro.errors.InterruptError` is thrown into the generator at the
+point it is waiting, which is exactly the fail-fast semantics of §2.2 — the
+process either handles it (rare; used for cleanup) or dies immediately.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.errors import InterruptError, SimulationError
+from repro.sim.events import AllOf, AnyOf, Event, Timeout, PENDING
+
+
+class _Wait:
+    """A single outstanding wait; invalidated when the process is
+    interrupted so a stale resume cannot fire twice."""
+
+    __slots__ = ("valid",)
+
+    def __init__(self) -> None:
+        self.valid = True
+
+
+class Process:
+    """A running simulated process. Waitable: ``yield process`` waits for
+    completion, as does ``process.done``."""
+
+    def __init__(self, sim: Any, gen: Generator[Any, Any, Any], name: str) -> None:
+        if not hasattr(gen, "send"):
+            raise SimulationError(
+                f"spawn() needs a generator, got {type(gen).__name__}; "
+                "did you forget to call the generator function?"
+            )
+        self.sim = sim
+        self.name = name
+        self.gen = gen
+        self.done: Event = Event(sim, name=f"{name}.done")
+        self._wait: Optional[_Wait] = None
+        # Kick off on the next kernel step at the current time.
+        sim.schedule(0.0, self._resume, None, None)
+
+    @property
+    def alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.done.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`InterruptError` into the process (fail-fast crash).
+
+        No-op on a finished process. The throw happens immediately (same
+        simulated time, next kernel step).
+        """
+        if not self.alive:
+            return
+        if self._wait is not None:
+            self._wait.valid = False
+            self._wait = None
+        self.sim.schedule(0.0, self._resume, None, InterruptError(cause))
+
+    # ------------------------------------------------------------------
+    # Kernel-facing machinery
+
+    def _resume(self, value: Any, exc: Optional[BaseException]) -> None:
+        if not self.alive:
+            return
+        self._wait = None
+        try:
+            if exc is not None:
+                effect = self.gen.throw(exc)
+            else:
+                effect = self.gen.send(value)
+        except StopIteration as stop:
+            self.done.trigger(stop.value)
+            return
+        except BaseException as failure:  # noqa: BLE001 - process death
+            self.done.fail(failure)
+            return
+        self._install(effect)
+
+    def _install(self, effect: Any) -> None:
+        """Arrange for the process to be resumed when ``effect`` completes."""
+        wait = _Wait()
+        self._wait = wait
+
+        def resume_ok(value: Any) -> None:
+            if wait.valid:
+                self._resume(value, None)
+
+        def resume_event(event: Event) -> None:
+            if not wait.valid:
+                return
+            if event.exception is not None:
+                self._resume(None, event.exception)
+            else:
+                self._resume(event.value, None)
+
+        if isinstance(effect, Timeout):
+            self.sim.schedule(effect.delay, resume_ok, effect.value)
+        elif isinstance(effect, Event):
+            effect.add_callback(resume_event)
+        elif isinstance(effect, Process):
+            effect.done.add_callback(resume_event)
+        elif isinstance(effect, (AnyOf, AllOf)):
+            try:
+                self._install_condition(effect, wait)
+            except SimulationError as exc:
+                # A bad member (not waitable) kills this process, not the
+                # kernel's run loop.
+                wait.valid = False
+                self.sim.schedule(0.0, self._resume, None, exc)
+        else:
+            self._resume(
+                None,
+                SimulationError(f"process {self.name!r} yielded {effect!r}"),
+            )
+
+    def _install_condition(self, effect: Any, wait: _Wait) -> None:
+        events = effect._as_events(self.sim)
+        if not events:
+            self.sim.schedule(0.0, lambda: wait.valid and self._resume({}, None))
+            return
+        need_all = isinstance(effect, AllOf)
+        state = {"settled": False, "remaining": len(events)}
+
+        def finish() -> None:
+            if state["settled"] or not wait.valid:
+                return
+            state["settled"] = True
+            failures = [e.exception for e in events if e.triggered and e.exception]
+            if failures:
+                self._resume(None, failures[0])
+                return
+            values = {
+                e: (None if e._value is PENDING else e._value)
+                for e in events
+                if e.triggered
+            }
+            self._resume(values, None)
+
+        def on_settle(_event: Event) -> None:
+            state["remaining"] -= 1
+            if not need_all or state["remaining"] == 0:
+                finish()
+
+        for event in events:
+            event.add_callback(on_settle)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "alive" if self.alive else "done"
+        return f"<Process {self.name!r} {state}>"

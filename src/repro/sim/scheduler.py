@@ -1,0 +1,139 @@
+"""The event loop: a time-ordered heap of callbacks plus the clock.
+
+Ties are broken by insertion sequence, which makes every run with the same
+seed bit-for-bit deterministic — a hard requirement for reproducing the
+paper's probabilistic claims (loss windows, violation rates) as exact
+numbers under a seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.sim.events import Event
+from repro.sim.metrics import MetricsRegistry
+from repro.sim.process import Process
+from repro.sim.random import RngRegistry
+from repro.sim.trace import TraceLog
+
+_HeapItem = Tuple[float, int, Callable[..., None], tuple]
+
+
+class Simulator:
+    """Discrete-event simulator: clock, event heap, RNG, metrics, trace.
+
+    Parameters
+    ----------
+    seed:
+        Master seed for all named RNG streams (see :class:`RngRegistry`).
+    trace_capacity:
+        Maximum retained trace records (None = unbounded).
+    """
+
+    def __init__(self, seed: int = 0, trace_capacity: Optional[int] = 10000) -> None:
+        self.now: float = 0.0
+        self.seed = seed
+        self.rng = RngRegistry(seed)
+        self.metrics = MetricsRegistry(self)
+        self.trace = TraceLog(self, capacity=trace_capacity)
+        self._heap: List[_HeapItem] = []
+        self._seq = itertools.count()
+        self._proc_seq = itertools.count()
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Scheduling primitives
+
+    def schedule(self, delay: float, fn: Callable[..., None], *args: Any) -> None:
+        """Run ``fn(*args)`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        heapq.heappush(self._heap, (self.now + delay, next(self._seq), fn, args))
+
+    def schedule_at(self, when: float, fn: Callable[..., None], *args: Any) -> None:
+        """Run ``fn(*args)`` at absolute simulated time ``when``."""
+        if when < self.now:
+            raise SimulationError(f"cannot schedule in the past: {when} < {self.now}")
+        heapq.heappush(self._heap, (when, next(self._seq), fn, args))
+
+    def event(self, name: str = "") -> Event:
+        """Create a fresh one-shot event bound to this simulator."""
+        return Event(self, name=name)
+
+    def timeout_event(self, delay: float, value: Any = None, name: str = "") -> Event:
+        """An event that triggers by itself after ``delay``."""
+        event = self.event(name or f"timeout@{self.now + delay:.6g}")
+        self.schedule(delay, event.trigger, value)
+        return event
+
+    def spawn(
+        self, gen: Generator[Any, Any, Any], name: Optional[str] = None
+    ) -> Process:
+        """Start a new process from a generator; returns the process."""
+        if name is None:
+            name = f"proc-{next(self._proc_seq)}"
+        return Process(self, gen, name)
+
+    # ------------------------------------------------------------------
+    # Running
+
+    def step(self) -> bool:
+        """Execute the next scheduled callback. Returns False if idle."""
+        if not self._heap:
+            return False
+        when, _seq, fn, args = heapq.heappop(self._heap)
+        self.now = when
+        fn(*args)
+        return True
+
+    def run(self, until: Optional[float] = None, max_steps: Optional[int] = None) -> float:
+        """Run until the heap drains, ``until`` is reached, or ``max_steps``
+        callbacks have executed. Returns the final simulated time.
+
+        ``until`` is inclusive of events at exactly that time; the clock is
+        advanced to ``until`` when it is given and not exceeded.
+        """
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        steps = 0
+        try:
+            while self._heap:
+                if until is not None and self._heap[0][0] > until:
+                    break
+                if max_steps is not None and steps >= max_steps:
+                    break
+                self.step()
+                steps += 1
+        finally:
+            self._running = False
+        if until is not None and self.now < until:
+            self.now = until
+        return self.now
+
+    def run_process(self, gen: Generator[Any, Any, Any], name: Optional[str] = None,
+                    until: Optional[float] = None) -> Any:
+        """Spawn ``gen``, run the simulation, and return its result.
+
+        Raises the process's exception if it failed; raises
+        :class:`SimulationError` if the simulation drained before the
+        process finished (a deadlock in the model).
+        """
+        proc = self.spawn(gen, name=name)
+        self.run(until=until)
+        if not proc.done.triggered:
+            raise SimulationError(
+                f"simulation drained before process {proc.name!r} finished"
+            )
+        return proc.done.value
+
+    @property
+    def pending_count(self) -> int:
+        """Number of callbacks waiting in the heap."""
+        return len(self._heap)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Simulator now={self.now:.6g} pending={len(self._heap)}>"

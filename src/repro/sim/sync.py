@@ -1,0 +1,129 @@
+"""Cooperative synchronization primitives on top of the kernel.
+
+- :class:`Mailbox` — unbounded FIFO of items; ``get()`` waits when empty.
+  This is how simulated processes receive messages.
+- :class:`Resource` — counted resource with a FIFO wait queue (a disk arm,
+  a CPU); acquire/release, used with ``yield``.
+- :class:`Lock` — a Resource of capacity 1 with reentrant-free semantics.
+
+All waiting is expressed through :class:`~repro.sim.events.Event`, so these
+compose with ``AnyOf``/``AllOf`` and with process interrupts.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Generator, Optional
+
+from repro.errors import SimulationError
+from repro.sim.events import Event
+
+
+class Mailbox:
+    """Unbounded FIFO channel between processes."""
+
+    def __init__(self, sim: Any, name: str = "mailbox") -> None:
+        self.sim = sim
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def put(self, item: Any) -> None:
+        """Deposit an item; wakes one waiting getter if any."""
+        if self._getters:
+            self._getters.popleft().trigger(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """An event that triggers with the next item (now, if available)."""
+        event = self.sim.event(name=f"{self.name}.get")
+        if self._items:
+            event.trigger(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+    def try_get(self) -> Optional[Any]:
+        """Non-blocking pop; None when empty."""
+        return self._items.popleft() if self._items else None
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def drain(self) -> list:
+        """Remove and return all queued items (used on crash: in-flight
+        work inside a dead component is simply gone)."""
+        items = list(self._items)
+        self._items.clear()
+        return items
+
+    def fail_waiters(self, exc: BaseException) -> None:
+        """Fail every blocked getter (crash semantics)."""
+        while self._getters:
+            self._getters.popleft().fail(exc)
+
+
+class Resource:
+    """Counted resource with FIFO queueing.
+
+    Usage inside a process::
+
+        grant = yield resource.acquire()
+        try:
+            ...
+        finally:
+            resource.release()
+    """
+
+    def __init__(self, sim: Any, capacity: int = 1, name: str = "resource") -> None:
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self.in_use = 0
+        self._waiters: Deque[Event] = deque()
+
+    def acquire(self) -> Event:
+        """Event that triggers when a unit is granted."""
+        event = self.sim.event(name=f"{self.name}.acquire")
+        if self.in_use < self.capacity:
+            self.in_use += 1
+            event.trigger(self)
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        """Return a unit; hands it straight to the next waiter if any."""
+        if self.in_use <= 0:
+            raise SimulationError(f"release() of idle resource {self.name!r}")
+        if self._waiters:
+            self._waiters.popleft().trigger(self)
+        else:
+            self.in_use -= 1
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._waiters)
+
+    def using(self, body: Generator[Any, Any, Any]) -> Generator[Any, Any, Any]:
+        """Run a sub-generator while holding one unit."""
+        yield self.acquire()
+        try:
+            result = yield from body
+        finally:
+            self.release()
+        return result
+
+
+class Lock(Resource):
+    """Mutual exclusion: a Resource of capacity one."""
+
+    def __init__(self, sim: Any, name: str = "lock") -> None:
+        super().__init__(sim, capacity=1, name=name)
+
+    @property
+    def locked(self) -> bool:
+        return self.in_use >= self.capacity

@@ -1,0 +1,70 @@
+"""Structured trace log for debugging and for assertions in tests.
+
+Records are cheap tuples of (time, actor, kind, payload). Tests use
+``TraceLog.find`` to assert that a protocol actually did what the model
+claims (e.g. "no checkpoint message was sent before the WRITE ack in DP2").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace entry."""
+
+    time: float
+    actor: str
+    kind: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"[{self.time:.6g}] {self.actor} {self.kind} {self.payload}"
+
+
+class TraceLog:
+    """Bounded in-memory trace; optionally disabled for big runs."""
+
+    def __init__(self, sim: Any, capacity: Optional[int] = 10000) -> None:
+        self._sim = sim
+        self.enabled = True
+        self.records: Deque[TraceRecord] = deque(maxlen=capacity)
+
+    def emit(self, actor: str, kind: str, **payload: Any) -> None:
+        """Append a record at the current simulated time."""
+        if not self.enabled:
+            return
+        self.records.append(TraceRecord(self._sim.now, actor, kind, payload))
+
+    def find(
+        self,
+        kind: Optional[str] = None,
+        actor: Optional[str] = None,
+        predicate: Optional[Callable[[TraceRecord], bool]] = None,
+    ) -> List[TraceRecord]:
+        """All records matching the given filters, in time order."""
+        return list(self.iter(kind=kind, actor=actor, predicate=predicate))
+
+    def iter(
+        self,
+        kind: Optional[str] = None,
+        actor: Optional[str] = None,
+        predicate: Optional[Callable[[TraceRecord], bool]] = None,
+    ) -> Iterator[TraceRecord]:
+        for record in self.records:
+            if kind is not None and record.kind != kind:
+                continue
+            if actor is not None and record.actor != actor:
+                continue
+            if predicate is not None and not predicate(record):
+                continue
+            yield record
+
+    def count(self, kind: Optional[str] = None, actor: Optional[str] = None) -> int:
+        return sum(1 for _ in self.iter(kind=kind, actor=actor))
+
+    def clear(self) -> None:
+        self.records.clear()

@@ -1,0 +1,21 @@
+"""Simulated durable storage.
+
+The paper's failure boundary separates *volatile* state (a process's
+memory, lost on fail-fast crash) from *durable* state (what made it to
+disk). This package models exactly that line:
+
+- :class:`Disk` — a service-timed device; whatever was written survives
+  crashes of the processes using it.
+- :class:`MirroredDisk` — the Tandem mirrored-pair: writes go to both
+  sides, reads are served while at least one side is up.
+- :class:`WriteAheadLog` — LSN-stamped records with an explicit volatile
+  tail; ``flush`` moves the durability horizon.
+- :class:`PageStore` — a small key/value page store with disk-timed IO.
+"""
+
+from repro.storage.disk import Disk
+from repro.storage.mirrored import MirroredDisk
+from repro.storage.wal import LogRecord, WriteAheadLog
+from repro.storage.kv import PageStore
+
+__all__ = ["Disk", "MirroredDisk", "LogRecord", "WriteAheadLog", "PageStore"]

@@ -1,0 +1,73 @@
+"""A small disk-backed key/value page store.
+
+Used where a component needs durable named state with realistic IO timing
+but no log semantics (e.g. a Dynamo node's local blob store).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, Iterable, Optional
+
+from repro.sim.scheduler import Simulator
+from repro.storage.disk import Disk
+
+
+class PageStore:
+    """Durable KV pages over a :class:`Disk`, plus a volatile write cache.
+
+    ``put`` is durable (disk-timed). ``put_volatile`` stages a page in
+    memory; ``sync`` makes staged pages durable in one batch; ``crash``
+    drops the staged pages — the same volatile/durable split as the WAL.
+    """
+
+    def __init__(self, sim: Simulator, disk: Optional[Disk] = None, name: str = "kv") -> None:
+        self.sim = sim
+        self.name = name
+        self.disk = disk or Disk(sim, name=f"{name}.disk")
+        self._staged: Dict[Any, Any] = {}
+
+    def put(self, key: Any, value: Any) -> Generator[Any, Any, None]:
+        """Durable, disk-timed write."""
+        yield from self.disk.write(key, value)
+
+    def get(self, key: Any) -> Generator[Any, Any, Any]:
+        """Disk-timed read; staged (newer) pages win over durable ones."""
+        if key in self._staged:
+            # Served from memory: no disk arm time.
+            return self._staged[key]
+        value = yield from self.disk.read(key)
+        return value
+
+    def put_volatile(self, key: Any, value: Any) -> None:
+        """Stage a write in memory (fast, unsafe)."""
+        self._staged[key] = value
+
+    def sync(self) -> Generator[Any, Any, int]:
+        """Flush staged pages to disk in one batch; returns count flushed."""
+        if not self._staged:
+            return 0
+        batch, self._staged = self._staged, {}
+        yield from self.disk.write_batch(batch)
+        return len(batch)
+
+    def crash(self) -> Dict[Any, Any]:
+        """Drop staged pages (fail-fast). Returns what was lost."""
+        lost, self._staged = self._staged, {}
+        return lost
+
+    def peek(self, key: Any) -> Any:
+        """Zero-time read (tests/recovery)."""
+        if key in self._staged:
+            return self._staged[key]
+        return self.disk.peek(key)
+
+    def keys(self) -> Iterable[Any]:
+        seen = set(self._staged)
+        yield from self._staged
+        for key in self.disk.contents():
+            if key not in seen:
+                yield key
+
+    @property
+    def staged_count(self) -> int:
+        return len(self._staged)

@@ -1,0 +1,47 @@
+"""The Tandem NonStop lineage (§3 of the paper), as executable models.
+
+Two checkpointing strategies for disk-process pairs:
+
+- **DP1 (circa 1984)**: every WRITE is synchronously checkpointed from the
+  primary disk process to its backup before the application sees the ack.
+  A primary crash is transparent — the backup has every acked write, and
+  in-flight transactions continue.
+- **DP2 (circa 1986)**: checkpointing and transaction logging are combined.
+  A WRITE is acked from the primary's memory; the log buffer "lollygags"
+  and is shipped to the backup and the ADP (Audit Disk Process) in groups.
+  A primary crash aborts the in-flight transactions that used it — the
+  "acceptable erosion of behavior" (§3.3) — but never loses a committed
+  transaction, because commit waits for the log to be durable.
+
+The commit protocol is deferred-update: WRITEs buffer per-transaction in
+the disk process; FLUSH makes the transaction's log durable (prepare);
+the commit record at the ADP decides the transaction; APPLY then folds
+the buffered writes into the committed state. Recovery on takeover
+consults the transaction registry: committed → apply, in-flight →
+continue (DP1) or abort (DP2), aborted → discard.
+
+:class:`TandemSystem` wires processors, DP pairs, the ADP and clients on
+one simulator; :class:`GroupCommitter` is the §3.2 "city bus" as a
+standalone component for the group-commit experiment.
+"""
+
+from repro.tandem.config import DPMode, TandemConfig
+from repro.tandem.registry import TmfRegistry, TxnStatus
+from repro.tandem.adp import AuditDiskProcess
+from repro.tandem.disk_process import DiskProcessPair
+from repro.tandem.client import AppClient, Txn
+from repro.tandem.system import TandemSystem
+from repro.tandem.groupcommit import GroupCommitter
+
+__all__ = [
+    "DPMode",
+    "TandemConfig",
+    "TmfRegistry",
+    "TxnStatus",
+    "AuditDiskProcess",
+    "DiskProcessPair",
+    "AppClient",
+    "Txn",
+    "TandemSystem",
+    "GroupCommitter",
+]

@@ -1,0 +1,41 @@
+"""Configuration for the Tandem models."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+
+
+class DPMode(str, enum.Enum):
+    """Which disk-process generation a pair runs."""
+
+    DP1 = "dp1"  # circa 1984: synchronous per-WRITE checkpointing
+    DP2 = "dp2"  # circa 1986: log-combined checkpointing, group commit
+
+
+@dataclass
+class TandemConfig:
+    """Timing and topology knobs.
+
+    Defaults model a mid-80s shared-nothing box: ~0.1 ms interprocessor
+    messages, ~5 ms disk service. The absolute values matter less than the
+    ratios (the paper's claims are about orderings and rough factors).
+    """
+
+    mode: DPMode = DPMode.DP2
+    num_dps: int = 2
+    message_latency: float = 0.0001  # one-way CPU-to-CPU message, seconds
+    disk_service_time: float = 0.005
+    disk_per_item_time: float = 0.0001
+    group_commit_timer: float = 0.002  # DP2: how long the bus waits
+    rpc_timeout: float = 0.5
+    rpc_retries: int = 8
+
+    def __post_init__(self) -> None:
+        self.mode = DPMode(self.mode)
+        if self.num_dps < 1:
+            raise SimulationError("need at least one disk process pair")
+        if self.group_commit_timer < 0:
+            raise SimulationError("negative group commit timer")

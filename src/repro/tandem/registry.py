@@ -1,0 +1,75 @@
+"""TMF: system-wide transaction state.
+
+The Transaction Monitoring Facility knows every transaction's status and
+which disk processes it dirtied. That knowledge is what lets the DP2
+takeover "automatically abort any relevant in-flight transactions when the
+primary DP fails" (§3.2). We model TMF as a shared registry object — its
+message costs are not on the paths the paper quantifies, so it charges no
+simulated time.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Dict, List, Set
+
+from repro.errors import SimulationError
+
+
+class TxnStatus(str, enum.Enum):
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+class TmfRegistry:
+    """Transaction ids, statuses, and dirty sets."""
+
+    def __init__(self) -> None:
+        self._ids = itertools.count(1)
+        self._status: Dict[int, TxnStatus] = {}
+        self._dirty: Dict[int, Set[str]] = {}
+
+    def new_txn(self) -> int:
+        txn_id = next(self._ids)
+        self._status[txn_id] = TxnStatus.ACTIVE
+        self._dirty[txn_id] = set()
+        return txn_id
+
+    def status(self, txn_id: int) -> TxnStatus:
+        if txn_id not in self._status:
+            raise SimulationError(f"unknown transaction {txn_id}")
+        return self._status[txn_id]
+
+    def mark_dirty(self, txn_id: int, dp_name: str) -> None:
+        self._dirty[txn_id].add(dp_name)
+
+    def dirty_set(self, txn_id: int) -> Set[str]:
+        return set(self._dirty.get(txn_id, ()))
+
+    def mark_committed(self, txn_id: int) -> None:
+        if self._status.get(txn_id) == TxnStatus.ABORTED:
+            raise SimulationError(f"transaction {txn_id} already aborted")
+        self._status[txn_id] = TxnStatus.COMMITTED
+
+    def mark_aborted(self, txn_id: int) -> None:
+        if self._status.get(txn_id) == TxnStatus.COMMITTED:
+            raise SimulationError(f"transaction {txn_id} already committed")
+        self._status[txn_id] = TxnStatus.ABORTED
+
+    def abort_active_dirty_at(self, dp_name: str) -> List[int]:
+        """DP2 takeover rule: abort every ACTIVE transaction that dirtied
+        the failed disk process. Returns the aborted ids."""
+        aborted = []
+        for txn_id, status in self._status.items():
+            if status is TxnStatus.ACTIVE and dp_name in self._dirty[txn_id]:
+                self._status[txn_id] = TxnStatus.ABORTED
+                aborted.append(txn_id)
+        return aborted
+
+    def counts(self) -> Dict[str, int]:
+        tally = {status.value: 0 for status in TxnStatus}
+        for status in self._status.values():
+            tally[status.value] += 1
+        return tally

@@ -1,0 +1,29 @@
+"""Partitioned workflow: idempotent multi-stage work (§5.4, §7.7).
+
+"Sometimes, incoming work stimulates other work. For example, processing
+a purchase order may result in scheduling a shipment. Two replicas may
+get overly enthusiastic about the incoming purchase order and each
+schedule a shipment." The fix is the same uniquifier discipline, applied
+transitively: a child work item's identity is *derived* from its
+parent's (the printed serial number on every carbon copy, §7.7), so
+duplicate stimulation collapses when knowledge "sloshes through the
+network."
+
+- :class:`WorkItem` — uniquified work; children derive their identity
+  from parent + stage.
+- :class:`WorkflowReplica` — runs stage handlers on local knowledge,
+  records executions, emits stimulated children.
+- :class:`WorkflowSystem` — replicas + knowledge exchange; counts the
+  redundant executions detected and collapsed.
+"""
+
+from repro.workflow.items import WorkItem, derive_child_uniquifier
+from repro.workflow.engine import StageHandler, WorkflowReplica, WorkflowSystem
+
+__all__ = [
+    "WorkItem",
+    "derive_child_uniquifier",
+    "StageHandler",
+    "WorkflowReplica",
+    "WorkflowSystem",
+]

@@ -1,0 +1,16 @@
+"""Workload generation for the experiment suite."""
+
+from repro.workload.arrivals import poisson_arrivals, closed_loop
+from repro.workload.generators import (
+    CheckStream,
+    CartSessionPlan,
+    random_cart_sessions,
+)
+
+__all__ = [
+    "poisson_arrivals",
+    "closed_loop",
+    "CheckStream",
+    "CartSessionPlan",
+    "random_cart_sessions",
+]

@@ -1,0 +1,55 @@
+"""Arrival processes: open (Poisson) and closed-loop drivers."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional
+
+from repro.errors import SimulationError
+from repro.sim.events import Timeout
+from repro.sim.scheduler import Simulator
+
+
+def poisson_arrivals(
+    sim: Simulator,
+    rate: float,
+    make_job: Callable[[int], Generator[Any, Any, Any]],
+    count: Optional[int] = None,
+    until: Optional[float] = None,
+    stream: str = "arrivals",
+) -> Generator[Any, Any, int]:
+    """An open arrival process: spawn ``make_job(i)`` at exponential
+    inter-arrival times of mean ``1/rate``. Stops after ``count`` jobs or
+    past ``until`` (at least one bound required). Returns jobs started."""
+    if rate <= 0:
+        raise SimulationError("arrival rate must be positive")
+    if count is None and until is None:
+        raise SimulationError("poisson_arrivals needs count or until")
+    rng = sim.rng.stream(stream)
+    started = 0
+    while count is None or started < count:
+        yield Timeout(rng.expovariate(rate))
+        if until is not None and sim.now > until:
+            break
+        sim.spawn(make_job(started), name=f"job-{started}")
+        started += 1
+    return started
+
+
+def closed_loop(
+    sim: Simulator,
+    workers: int,
+    make_job: Callable[[int, int], Generator[Any, Any, Any]],
+    jobs_per_worker: int,
+    think_time: float = 0.0,
+) -> list:
+    """A closed-loop driver: ``workers`` clients, each running
+    ``jobs_per_worker`` jobs back-to-back with optional think time.
+    Returns the worker processes (wait on them or just run the sim)."""
+
+    def worker_loop(worker_id: int) -> Generator[Any, Any, None]:
+        for job_index in range(jobs_per_worker):
+            yield from make_job(worker_id, job_index)
+            if think_time > 0:
+                yield Timeout(think_time)
+
+    return [sim.spawn(worker_loop(w), name=f"worker-{w}") for w in range(workers)]

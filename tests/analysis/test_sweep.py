@@ -1,0 +1,49 @@
+"""Sweep harness."""
+
+import pytest
+
+from repro.analysis import SweepPoint, monotone, sweep
+from repro.errors import SimulationError
+
+
+def test_sweep_averages_over_seeds():
+    points = sweep(
+        [1, 2],
+        run=lambda value, seed: {"out": value * 10 + seed},
+        seeds=(0, 1, 2),
+    )
+    assert [p.parameter for p in points] == [1, 2]
+    assert points[0].means["out"] == pytest.approx(11.0)
+    assert points[1].means["out"] == pytest.approx(21.0)
+    assert points[0].runs == 3
+
+
+def test_sweep_validates_inputs():
+    with pytest.raises(SimulationError):
+        sweep([], run=lambda v, s: {})
+    with pytest.raises(SimulationError):
+        sweep([1], run=lambda v, s: {}, seeds=())
+
+
+def test_sweep_rejects_inconsistent_keys():
+    def flaky(value, seed):
+        return {"a": 1.0} if seed == 0 else {"b": 1.0}
+
+    with pytest.raises(SimulationError):
+        sweep([1], run=flaky, seeds=(0, 1))
+
+
+def test_booleans_average_as_rates():
+    points = sweep([1], run=lambda v, s: {"ok": s < 2}, seeds=(0, 1, 2, 3))
+    assert points[0].means["ok"] == pytest.approx(0.5)
+
+
+def test_monotone_checks():
+    points = [
+        SweepPoint(1, {"y": 1.0}, 1),
+        SweepPoint(2, {"y": 2.0}, 1),
+        SweepPoint(3, {"y": 2.0}, 1),
+    ]
+    assert monotone(points, "y", increasing=True)
+    assert not monotone(points, "y", increasing=False)
+    assert monotone(list(reversed(points)), "y", increasing=False)

@@ -1,0 +1,77 @@
+"""Account op-space: commutativity, balances, holds."""
+
+import pytest
+
+from repro.bank import Check, build_account_registry
+from repro.bank.account import available_of, balance_of
+from repro.core import Operation, check_acid2
+from repro.errors import SimulationError
+
+
+def ops_sample():
+    return [
+        Operation("DEPOSIT", {"amount": 100.0}, uniquifier="d1", ingress_time=1.0),
+        Operation("CLEAR_CHECK", {"amount": 30.0}, uniquifier="c1", ingress_time=2.0),
+        Operation("FEE", {"amount": 5.0}, uniquifier="f1", ingress_time=3.0),
+    ]
+
+
+def test_fold_computes_balance():
+    registry = build_account_registry()
+    state = registry.initial_state()
+    for op in ops_sample():
+        state = registry.apply(state, op)
+    assert balance_of(state) == 65.0
+
+
+def test_account_ops_are_acid2():
+    registry = build_account_registry()
+    report = check_acid2(registry, ops_sample())
+    assert report.ok, report.failures
+
+
+def test_states_structurally_equal_across_orders():
+    registry = build_account_registry()
+    forward = registry.initial_state()
+    for op in ops_sample():
+        forward = registry.apply(forward, op)
+    backward = registry.initial_state()
+    for op in reversed(ops_sample()):
+        backward = registry.apply(backward, op)
+    assert forward == backward
+
+
+def test_hold_affects_available_not_balance():
+    registry = build_account_registry()
+    state = registry.apply(
+        registry.initial_state(),
+        Operation("DEPOSIT", {"amount": 100.0, "hold": True}, uniquifier="d1"),
+    )
+    assert balance_of(state) == 100.0
+    assert available_of(state) == 0.0
+    state = registry.apply(
+        state, Operation("RELEASE_HOLD", {"amount": 100.0}, uniquifier="r1")
+    )
+    assert available_of(state) == 100.0
+
+
+def test_bounce_debit_includes_fee():
+    registry = build_account_registry()
+    state = registry.apply(
+        registry.initial_state(),
+        Operation("BOUNCE_DEBIT", {"amount": 130.0}, uniquifier="b1"),
+    )
+    assert balance_of(state) == -130.0
+
+
+def test_check_validation():
+    with pytest.raises(SimulationError):
+        Check("fnb", "acct1", 7, "payee", amount=0.0)
+    with pytest.raises(SimulationError):
+        Check("fnb", "acct1", 0, "payee", amount=10.0)
+
+
+def test_check_uniquifier_is_functional():
+    a = Check("fnb", "acct1", 7, "alice", 10.0)
+    b = Check("fnb", "acct1", 7, "alice", 10.0)
+    assert a.uniquifier == b.uniquifier == "fnb:acct1:7"

@@ -1,0 +1,63 @@
+"""Cart anomaly accounting."""
+
+from repro.cart import CartOp, compare_to_truth
+from repro.cart.anomalies import aggregate
+
+
+def ops_book_and_deleted_pen():
+    return [
+        CartOp("ADD", "book", 2, uniquifier="a", time=1.0),
+        CartOp("ADD", "pen", 1, uniquifier="b", time=2.0),
+        CartOp("DELETE", "pen", uniquifier="c", time=3.0),
+    ]
+
+
+def test_clean_observation():
+    report = compare_to_truth({"book": 2}, ops_book_and_deleted_pen())
+    assert report.clean
+    assert report.lost_or_shorted == 0
+
+
+def test_lost_item_detected():
+    report = compare_to_truth({}, ops_book_and_deleted_pen())
+    assert report.lost_items == ["book"]
+    assert not report.clean
+
+
+def test_shorted_item_detected():
+    report = compare_to_truth({"book": 1}, ops_book_and_deleted_pen())
+    assert report.shorted_items == ["book"]
+    assert report.lost_items == []
+
+
+def test_resurrected_item_detected():
+    report = compare_to_truth({"book": 2, "pen": 1}, ops_book_and_deleted_pen())
+    assert report.resurrected_items == ["pen"]
+    assert report.lost_or_shorted == 0
+
+
+def test_phantom_item_detected():
+    """An item no operation ever mentioned is a phantom, not a
+    resurrection."""
+    report = compare_to_truth({"book": 2, "lamp": 1}, ops_book_and_deleted_pen())
+    assert report.phantom_items == ["lamp"]
+    assert report.resurrected_items == []
+
+
+def test_over_quantity_is_not_an_anomaly_direction_we_count():
+    """More copies than truth is neither lost nor resurrected; it only
+    matters if the item itself should be absent."""
+    report = compare_to_truth({"book": 5}, ops_book_and_deleted_pen())
+    assert report.clean
+
+
+def test_aggregate_totals():
+    reports = [
+        compare_to_truth({"book": 2}, ops_book_and_deleted_pen()),
+        compare_to_truth({"book": 2, "pen": 1}, ops_book_and_deleted_pen()),
+        compare_to_truth({}, ops_book_and_deleted_pen()),
+    ]
+    totals = aggregate(reports)
+    assert totals == {
+        "lost": 1, "shorted": 0, "resurrected": 1, "phantom": 0, "clean": 1,
+    }

@@ -1,0 +1,42 @@
+"""Shared fixtures: a counter op-space (commutative) and a register
+op-space (last-writer-wins, NOT commutative) for contrast."""
+
+import pytest
+
+from repro.core import Operation, TypeRegistry
+
+
+def _counter_add(state, op):
+    new = dict(state)
+    new["total"] = new.get("total", 0) + op.args["amount"]
+    return new
+
+
+def _register_set(state, op):
+    new = dict(state)
+    new["value"] = op.args["value"]
+    return new
+
+
+@pytest.fixture
+def counter_registry():
+    """Commutative: ADD amounts to a total."""
+    registry = TypeRegistry(initial_state=dict)
+    registry.register("ADD", _counter_add)
+    return registry
+
+
+@pytest.fixture
+def register_registry():
+    """Non-commutative: SET overwrites — WRITES do not commute (§5.3)."""
+    registry = TypeRegistry(initial_state=dict)
+    registry.register("SET", _register_set, declared_commutative=False)
+    return registry
+
+
+def add_op(amount, uniquifier=None, **kwargs):
+    return Operation("ADD", {"amount": amount}, uniquifier=uniquifier, **kwargs)
+
+
+def set_op(value, uniquifier=None, **kwargs):
+    return Operation("SET", {"value": value}, uniquifier=uniquifier, **kwargs)

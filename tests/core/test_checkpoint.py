@@ -1,0 +1,85 @@
+"""SyncOrApologize: the §5.8 choice, end to end."""
+
+from repro.core import (
+    BusinessRule,
+    Enforcement,
+    ExecutionMode,
+    Operation,
+    Replica,
+    RuleEngine,
+    SyncOrApologize,
+    ThresholdRiskPolicy,
+    TypeRegistry,
+)
+from repro.core.antientropy import sync_replicas
+
+
+def make_space(cap=1000.0):
+    registry = TypeRegistry(initial_state=dict)
+    registry.register(
+        "SPEND", lambda s, op: {**s, "spent": s.get("spent", 0) + op.args["amount"]}
+    )
+
+    def check(state, _op):
+        if state.get("spent", 0) > cap:
+            return f"spent {state.get('spent', 0)} > {cap}"
+        return None
+
+    rules = RuleEngine([BusinessRule("budget", check, Enforcement.LOCAL)])
+    return registry, rules
+
+
+def test_small_ops_guess_big_ops_coordinate():
+    registry, rules = make_space()
+    local = Replica("local", registry, rules=rules)
+    remote = Replica("remote", registry, rules=rules)
+    coordinations = []
+
+    executor = SyncOrApologize(
+        local,
+        ThresholdRiskPolicy(500.0),
+        coordinate=lambda: coordinations.append(sync_replicas(local, remote)),
+    )
+    assert executor.perform(Operation("SPEND", {"amount": 10.0})) is ExecutionMode.GUESS
+    assert coordinations == []
+    assert executor.perform(Operation("SPEND", {"amount": 600.0})) is ExecutionMode.SYNC
+    assert len(coordinations) == 1
+    assert executor.counts == {"sync": 1, "guess": 1, "refused": 0}
+    assert executor.guess_fraction == 0.5
+
+
+def test_coordinated_refusal_is_crisp():
+    """The remote replica already spent 800; a coordinated 600 sees the
+    truth and is refused; an identical local guess would have cleared."""
+    registry, rules = make_space(cap=1000.0)
+    local = Replica("local", registry, rules=rules)
+    remote = Replica("remote", registry, rules=rules)
+    remote.submit(Operation("SPEND", {"amount": 800.0}))
+
+    executor = SyncOrApologize(
+        local,
+        ThresholdRiskPolicy(500.0),
+        coordinate=lambda: sync_replicas(local, remote),
+    )
+    outcome = executor.perform(Operation("SPEND", {"amount": 600.0}))
+    assert outcome is ExecutionMode.REFUSED
+    assert local.state["spent"] == 800.0  # learned, did not add
+
+
+def test_local_guess_can_be_wrong():
+    """The same scenario below the threshold: the guess clears locally and
+    the violation only surfaces when the replicas talk — an apology."""
+    registry, rules = make_space(cap=1000.0)
+    local = Replica("local", registry, rules=rules)
+    remote = Replica("remote", registry, rules=rules)
+    remote.submit(Operation("SPEND", {"amount": 800.0}))
+
+    executor = SyncOrApologize(
+        local,
+        ThresholdRiskPolicy(10_000.0),  # nothing coordinates
+        coordinate=lambda: None,
+    )
+    outcome = executor.perform(Operation("SPEND", {"amount": 600.0}))
+    assert outcome is ExecutionMode.GUESS
+    apologies = sync_replicas(local, remote)
+    assert len(apologies) >= 1  # 1400 > 1000 discovered at reconciliation

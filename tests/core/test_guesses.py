@@ -1,0 +1,57 @@
+"""Guess ledger and apology routing."""
+
+from repro.core import Apology, ApologyQueue, GuessLedger
+
+
+def make_apology(rule="overdraft", op="u1"):
+    return Apology(rule=rule, op_uniquifier=op, detail="x", replica="r1", time=1.0)
+
+
+def test_guess_lifecycle():
+    ledger = GuessLedger()
+    ledger.record("g1", basis="local view")
+    assert not ledger.get("g1").settled
+    ledger.confirm("g1")
+    assert ledger.get("g1").outcome == "confirmed"
+    ledger.record("g2", basis="local view")
+    ledger.refute("g2")
+    assert ledger.counts() == {"open": 0, "confirmed": 1, "wrong": 1}
+
+
+def test_confirm_unknown_guess_is_noop():
+    ledger = GuessLedger()
+    ledger.confirm("ghost")
+    ledger.refute("ghost")
+    assert len(ledger) == 0
+
+
+def test_apology_goes_to_human_without_handler():
+    queue = ApologyQueue()
+    queue.enqueue(make_apology())
+    assert queue.human_interventions == 1
+    assert queue.counts() == {"total": 1, "automated": 0, "human": 1}
+
+
+def test_handler_absorbs_apology():
+    queue = ApologyQueue()
+    handled = []
+    queue.register_handler("overdraft", lambda a: (handled.append(a), True)[1])
+    queue.enqueue(make_apology())
+    assert queue.human_interventions == 0
+    assert len(handled) == 1
+    assert queue.all[0].resolution == "automated"
+
+
+def test_handler_can_escalate():
+    """Apology code asks for human help for cases beyond its design (§5.7)."""
+    queue = ApologyQueue()
+    queue.register_handler("overdraft", lambda a: False)
+    queue.enqueue(make_apology())
+    assert queue.human_interventions == 1
+
+
+def test_handler_scoped_by_rule():
+    queue = ApologyQueue()
+    queue.register_handler("overdraft", lambda a: True)
+    queue.enqueue(make_apology(rule="overbooked"))
+    assert queue.human_interventions == 1

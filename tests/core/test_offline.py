@@ -1,0 +1,101 @@
+"""OfflineSession: the offlineable-client symmetry (§1)."""
+
+from repro.core import (
+    BusinessRule,
+    Enforcement,
+    OfflineSession,
+    Operation,
+    Replica,
+    RuleEngine,
+    TypeRegistry,
+)
+
+
+def make_home(cap=None):
+    registry = TypeRegistry(initial_state=dict)
+    registry.register(
+        "ADD", lambda s, op: {**s, "total": s.get("total", 0) + op.args["amount"]}
+    )
+    rules = None
+    if cap is not None:
+        def check(state, _op):
+            if state.get("total", 0) > cap:
+                return f"total {state.get('total', 0)} > {cap}"
+            return None
+
+        rules = RuleEngine([BusinessRule("cap", check, Enforcement.LOCAL)])
+    return Replica("home", registry, rules=rules)
+
+
+def add(amount, uniq=None):
+    return Operation("ADD", {"amount": amount}, uniquifier=uniq)
+
+
+def test_connected_work_reaches_home_immediately():
+    home = make_home()
+    session = OfflineSession("laptop", home)
+    session.perform(add(5))
+    assert home.state["total"] == 5
+    assert session.pending_for_home == 0
+
+
+def test_session_starts_with_home_knowledge():
+    home = make_home()
+    home.submit(add(10))
+    session = OfflineSession("laptop", home)
+    assert session.state()["total"] == 10
+
+
+def test_offline_work_queues_and_syncs_on_connect():
+    home = make_home()
+    session = OfflineSession("laptop", home)
+    session.disconnect()
+    session.perform(add(3))
+    session.perform(add(4))
+    assert home.state.get("total", 0) == 0
+    assert session.pending_for_home == 2
+    assert session.offline_ops == 2
+    session.connect()
+    assert home.state["total"] == 7
+    assert session.pending_for_home == 0
+
+
+def test_reconnect_pulls_home_side_changes_too():
+    home = make_home()
+    session = OfflineSession("laptop", home)
+    session.disconnect()
+    session.perform(add(3))
+    home.submit(add(10))  # the world moved on without us
+    session.connect()
+    assert session.state()["total"] == 13
+    assert home.state["total"] == 13
+
+
+def test_duplicate_op_ignored_everywhere():
+    home = make_home()
+    session = OfflineSession("laptop", home)
+    op = add(5, uniq="u1")
+    assert session.perform(op)
+    assert not session.perform(add(99, uniq="u1"))
+    assert home.state["total"] == 5
+
+
+def test_offline_guess_becomes_apology_on_connect():
+    """Both the client and home independently stay under the cap; the
+    merge busts it — detected at reconnection, answered with an apology."""
+    home = make_home(cap=10)
+    session = OfflineSession(
+        "laptop", home,
+        rules=RuleEngine([
+            BusinessRule(
+                "cap",
+                lambda s, _op: "over" if s.get("total", 0) > 10 else None,
+            )
+        ]),
+    )
+    session.disconnect()
+    session.perform(add(8))
+    home.submit(add(8))
+    apologies = session.connect()
+    assert len(apologies) >= 1
+    assert session.state()["total"] == home.state["total"] == 16

@@ -1,0 +1,49 @@
+"""Operation identity and type registry."""
+
+import pytest
+
+from repro.core import Operation, TypeRegistry
+from repro.errors import SimulationError
+from tests.core.conftest import add_op
+
+
+def test_equality_is_by_uniquifier():
+    a = Operation("ADD", {"amount": 1}, uniquifier="u1")
+    b = Operation("ADD", {"amount": 999}, uniquifier="u1")
+    c = Operation("ADD", {"amount": 1}, uniquifier="u2")
+    assert a == b
+    assert a != c
+    assert hash(a) == hash(b)
+
+
+def test_auto_uniquifier_unique():
+    ops = [Operation("ADD", {"amount": 1}) for _ in range(50)]
+    assert len({op.uniquifier for op in ops}) == 50
+
+
+def test_args_copied():
+    args = {"amount": 1}
+    op = Operation("ADD", args)
+    args["amount"] = 2
+    assert op.args["amount"] == 1
+
+
+def test_registry_apply(counter_registry):
+    state = counter_registry.initial_state()
+    state = counter_registry.apply(state, add_op(5))
+    state = counter_registry.apply(state, add_op(3))
+    assert state["total"] == 8
+
+
+def test_registry_duplicate_type_rejected(counter_registry):
+    with pytest.raises(SimulationError):
+        counter_registry.register("ADD", lambda s, o: s)
+
+
+def test_registry_unknown_type_rejected(counter_registry):
+    with pytest.raises(SimulationError):
+        counter_registry.apply({}, Operation("NOPE", {}))
+
+
+def test_registry_names(counter_registry):
+    assert counter_registry.names() == ["ADD"]

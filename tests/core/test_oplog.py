@@ -1,0 +1,75 @@
+"""OpSet: dedup, merge-as-union, folds."""
+
+from repro.core import OpSet
+from tests.core.conftest import add_op, set_op
+
+
+def test_add_dedups_by_uniquifier():
+    ops = OpSet()
+    assert ops.add(add_op(1, uniquifier="u1"))
+    assert not ops.add(add_op(999, uniquifier="u1"))
+    assert len(ops) == 1
+
+
+def test_contains_op_or_uniquifier():
+    ops = OpSet([add_op(1, uniquifier="u1")])
+    assert "u1" in ops
+    assert add_op(5, uniquifier="u1") in ops
+    assert "u2" not in ops
+
+
+def test_merge_returns_new_count():
+    a = OpSet([add_op(1, uniquifier="u1"), add_op(2, uniquifier="u2")])
+    b = OpSet([add_op(2, uniquifier="u2"), add_op(3, uniquifier="u3")])
+    assert a.merge(b) == 1
+    assert len(a) == 3
+
+
+def test_union_is_commutative_in_knowledge():
+    a = OpSet([add_op(1, uniquifier="u1")])
+    b = OpSet([add_op(2, uniquifier="u2")])
+    assert a.union(b).uniquifiers() == b.union(a).uniquifiers()
+
+
+def test_missing_from():
+    a = OpSet([add_op(1, uniquifier="u1"), add_op(2, uniquifier="u2")])
+    b = OpSet([add_op(1, uniquifier="u1")])
+    missing = a.missing_from(b)
+    assert [op.uniquifier for op in missing] == ["u2"]
+
+
+def test_fold_arrival_order(counter_registry):
+    ops = OpSet([add_op(1), add_op(2), add_op(3)])
+    assert ops.fold(counter_registry)["total"] == 6
+
+
+def test_canonical_fold_same_knowledge_same_state(counter_registry):
+    first = [add_op(i, uniquifier=f"u{i}", ingress_time=float(i)) for i in range(5)]
+    shuffled = list(reversed(first))
+    a = OpSet(first)
+    b = OpSet(shuffled)
+    assert a.canonical_fold(counter_registry) == b.canonical_fold(counter_registry)
+
+
+def test_canonical_fold_fixes_noncommutative_divergence(register_registry):
+    """SETs folded in arrival order diverge across replicas; the canonical
+    order restores agreement — at the price of a deterministic tiebreak,
+    not the price of coordination."""
+    early = set_op("early", uniquifier="a", ingress_time=1.0)
+    late = set_op("late", uniquifier="b", ingress_time=2.0)
+    forward = OpSet([early, late])
+    backward = OpSet([late, early])
+    assert forward.fold(register_registry) != backward.fold(register_registry)
+    assert (
+        forward.canonical_fold(register_registry)
+        == backward.canonical_fold(register_registry)
+        == {"value": "late"}
+    )
+
+
+def test_canonical_order_sorts_by_time_then_uniquifier():
+    a = add_op(1, uniquifier="b", ingress_time=1.0)
+    b = add_op(2, uniquifier="a", ingress_time=1.0)
+    c = add_op(3, uniquifier="z", ingress_time=0.5)
+    ops = OpSet([a, b, c])
+    assert [op.uniquifier for op in ops.canonical_order()] == ["z", "a", "b"]

@@ -1,0 +1,61 @@
+"""Node-to-node anti-entropy: replicas converge without client reads."""
+
+from repro.dynamo import DynamoCluster
+from repro.sim import Timeout
+
+
+def test_anti_entropy_heals_a_missed_write():
+    cluster = DynamoCluster(num_nodes=5, n=3, r=1, w=1, seed=19, read_repair=False)
+    client = cluster.client()
+    owners = cluster.ring.intended_owners("k", 3)
+
+    def scenario():
+        cluster.crash(owners[1])
+        yield from client.put("k", "v1")
+        cluster.restart(owners[1])
+        yield Timeout(0.05)
+        pushed = yield from cluster.run_anti_entropy_round()
+        yield Timeout(0.05)
+        return pushed
+
+    pushed = cluster.sim.run_process(scenario())
+    assert pushed >= 1
+    assert any(v.value == "v1" for v in cluster.nodes[owners[1]].versions_of("k"))
+    assert cluster.converged_on("k")
+
+
+def test_anti_entropy_idempotent_once_converged():
+    cluster = DynamoCluster(num_nodes=5, n=3, r=2, w=3, seed=19)
+    client = cluster.client()
+
+    def scenario():
+        yield from client.put("k", "v1")
+        first = yield from cluster.run_anti_entropy_round()
+        second = yield from cluster.run_anti_entropy_round()
+        return first, second
+
+    _first, second = cluster.sim.run_process(scenario())
+    assert second == 0
+    assert cluster.converged_on("k")
+
+
+def test_anti_entropy_spreads_siblings_everywhere():
+    cluster = DynamoCluster(num_nodes=5, n=3, r=2, w=2, seed=23, read_repair=False)
+    alice = cluster.client("alice")
+    bob = cluster.client("bob")
+    owners = cluster.ring.intended_owners("k", 3)
+
+    def scenario():
+        yield from alice.put("k", "a")
+        yield from bob.put("k", "b")
+        for _ in range(2):
+            yield from cluster.run_anti_entropy_round()
+            yield Timeout(0.05)
+        return [
+            {v.value for v in cluster.nodes[o].versions_of("k")} for o in owners
+        ]
+
+    frontiers = cluster.sim.run_process(scenario())
+    for values in frontiers:
+        assert values == {"a", "b"}
+    assert cluster.converged_on("k")

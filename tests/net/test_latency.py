@@ -1,0 +1,53 @@
+"""Latency model units."""
+
+import random
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.net import ExponentialLatency, FixedLatency, UniformLatency
+
+
+def test_fixed():
+    model = FixedLatency(0.5)
+    assert model.sample(random.Random(0)) == 0.5
+
+
+def test_fixed_negative_rejected():
+    with pytest.raises(SimulationError):
+        FixedLatency(-0.1)
+
+
+def test_uniform_in_range():
+    model = UniformLatency(1.0, 2.0)
+    rng = random.Random(1)
+    for _ in range(100):
+        assert 1.0 <= model.sample(rng) <= 2.0
+
+
+def test_uniform_bad_range_rejected():
+    with pytest.raises(SimulationError):
+        UniformLatency(2.0, 1.0)
+    with pytest.raises(SimulationError):
+        UniformLatency(-1.0, 1.0)
+
+
+def test_exponential_at_least_floor():
+    model = ExponentialLatency(floor=0.02, mean_extra=0.01)
+    rng = random.Random(1)
+    samples = [model.sample(rng) for _ in range(500)]
+    assert all(s >= 0.02 for s in samples)
+    mean = sum(samples) / len(samples)
+    assert 0.025 < mean < 0.035  # floor + ~mean_extra
+
+
+def test_exponential_zero_extra_is_fixed():
+    model = ExponentialLatency(floor=0.02, mean_extra=0.0)
+    assert model.sample(random.Random(0)) == 0.02
+
+
+def test_exponential_bad_params_rejected():
+    with pytest.raises(SimulationError):
+        ExponentialLatency(-1.0, 0.1)
+    with pytest.raises(SimulationError):
+        ExponentialLatency(0.1, -1.0)

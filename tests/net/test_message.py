@@ -1,0 +1,29 @@
+"""Message basics."""
+
+from repro.net import Message
+
+
+def test_ids_are_unique_and_increasing():
+    a = Message("x", "y", "k")
+    b = Message("x", "y", "k")
+    assert b.msg_id > a.msg_id
+
+
+def test_default_payload_is_fresh_per_message():
+    a = Message("x", "y", "k")
+    b = Message("x", "y", "k")
+    a.payload["tainted"] = True
+    assert b.payload == {}
+
+
+def test_reply_chain():
+    request = Message("c", "s", "ask", {"q": 1})
+    response = request.reply("OK", answer=2)
+    followup = response.reply("ACK")
+    assert followup.src == "c" and followup.dst == "s"
+    assert followup.reply_to == response.msg_id
+
+
+def test_repr_mentions_route():
+    msg = Message("alice", "bob", "PING")
+    assert "alice->bob" in repr(msg)

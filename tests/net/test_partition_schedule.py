@@ -1,0 +1,65 @@
+"""Scheduled partition windows."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.net import Network
+from repro.net.partition import PartitionSchedule, PartitionWindow, periodic_partitions
+from repro.sim import Simulator
+
+
+def test_window_cut_and_heal():
+    sim = Simulator()
+    net = Network(sim)
+    net.attach("a")
+    net.attach("b")
+    schedule = PartitionSchedule(net, [PartitionWindow(5.0, 10.0, [["a"], ["b"]])])
+    schedule.install()
+    sim.run(until=6.0)
+    assert not net.reachable("a", "b")
+    sim.run(until=11.0)
+    assert net.reachable("a", "b")
+
+
+def test_empty_window_rejected():
+    with pytest.raises(SimulationError):
+        PartitionWindow(5.0, 5.0, [["a"]])
+
+
+def test_overlapping_windows_rejected():
+    sim = Simulator()
+    net = Network(sim)
+    with pytest.raises(SimulationError):
+        PartitionSchedule(
+            net,
+            [
+                PartitionWindow(0.0, 10.0, [["a"]]),
+                PartitionWindow(5.0, 15.0, [["a"]]),
+            ],
+        )
+
+
+def test_periodic_partitions():
+    sim = Simulator()
+    net = Network(sim)
+    net.attach("a")
+    net.attach("b")
+    schedule = periodic_partitions(
+        net, [["a"], ["b"]], period=10.0, duration=2.0, count=3, first_start=1.0
+    )
+    schedule.install()
+    cut_spans = [(w.start, w.end) for w in schedule.windows]
+    assert cut_spans == [(1.0, 3.0), (11.0, 13.0), (21.0, 23.0)]
+    sim.run(until=2.0)
+    assert net.partitioned
+    sim.run(until=4.0)
+    assert not net.partitioned
+    sim.run(until=12.0)
+    assert net.partitioned
+
+
+def test_periodic_duration_must_fit_period():
+    sim = Simulator()
+    net = Network(sim)
+    with pytest.raises(SimulationError):
+        periodic_partitions(net, [["a"]], period=5.0, duration=5.0, count=1)

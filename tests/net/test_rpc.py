@@ -1,0 +1,190 @@
+"""RPC: request/reply, retries, idempotent dedup, crashes."""
+
+import pytest
+
+from repro.errors import TimeoutError_
+from repro.net import Endpoint, FixedLatency, LinkConfig, Network
+from repro.net.rpc import RpcError, fresh_uniquifier
+from repro.sim import Simulator, Timeout
+
+
+def setup_pair(seed=0, **link_kwargs):
+    sim = Simulator(seed=seed)
+    net = Network(sim, default_link=LinkConfig(**link_kwargs))
+    server = Endpoint(net, "server", dedup=True)
+    client = Endpoint(net, "client")
+    server.start()
+    client.start()
+    return sim, net, server, client
+
+
+def test_simple_call():
+    sim, _net, server, client = setup_pair()
+
+    @server.on("add")
+    def add(_ep, msg):
+        return {"sum": msg.payload["a"] + msg.payload["b"]}
+
+    def run():
+        result = yield from client.call("server", "add", {"a": 2, "b": 3})
+        return result["sum"]
+
+    assert sim.run_process(run()) == 5
+
+
+def test_generator_handler_can_take_time():
+    sim, _net, server, client = setup_pair()
+
+    @server.on("slow")
+    def slow(_ep, _msg):
+        yield Timeout(4.0)
+        return {"done": True}
+
+    def run():
+        result = yield from client.call("server", "slow", timeout=10.0)
+        return (result["done"], sim.now)
+
+    done, now = sim.run_process(run())
+    assert done is True
+    assert now >= 4.0
+
+
+def test_handler_error_raises_rpc_error():
+    sim, _net, server, client = setup_pair()
+
+    @server.on("boom")
+    def boom(_ep, _msg):
+        raise ValueError("kaput")
+
+    def run():
+        try:
+            yield from client.call("server", "boom")
+        except RpcError as exc:
+            return exc.detail
+
+    assert sim.run_process(run()) == "kaput"
+
+
+def test_unknown_kind_is_error():
+    sim, _net, _server, client = setup_pair()
+
+    def run():
+        try:
+            yield from client.call("server", "nothing")
+        except RpcError as exc:
+            return str(exc)
+
+    assert "no handler" in sim.run_process(run())
+
+
+def test_retry_after_loss_succeeds_idempotently():
+    """50% loss: the call should eventually land, and dedup must keep the
+    side effect to one execution even when retries reach the server."""
+    sim, _net, server, client = setup_pair(seed=3, loss_probability=0.4)
+    executions = []
+
+    @server.on("do")
+    def do(_ep, msg):
+        executions.append(msg.payload["uniquifier"])
+        return {"ok": True}
+
+    def run():
+        result = yield from client.call("server", "do", timeout=0.5, retries=20)
+        return result["ok"]
+
+    assert sim.run_process(run()) is True
+    assert len(set(executions)) == len(executions) == 1
+
+
+def test_timeout_after_exhausting_retries():
+    sim, _net, _server, client = setup_pair(loss_probability=1.0)
+
+    def run():
+        try:
+            yield from client.call("server", "x", timeout=0.2, retries=2)
+        except TimeoutError_:
+            return "gave up"
+
+    assert sim.run_process(run()) == "gave up"
+    assert sim.metrics.counter("rpc.client.retries").value == 3
+
+
+def test_dedup_cache_answers_retries_without_rerun():
+    sim, _net, server, client = setup_pair()
+    runs = []
+
+    @server.on("do")
+    def do(_ep, msg):
+        runs.append(1)
+        return {"n": len(runs)}
+
+    def run():
+        first = yield from client.call("server", "do", {"uniquifier": "u-1"})
+        second = yield from client.call("server", "do", {"uniquifier": "u-1"})
+        return (first["n"], second["n"])
+
+    assert sim.run_process(run()) == (1, 1)
+    assert len(runs) == 1
+    assert sim.metrics.counter("rpc.server.dedup_hits").value == 1
+
+
+def test_dedup_cache_is_volatile_across_crash():
+    """Fail-fast: a restart forgets the dedup cache — the uniquifier only
+    protects within one incarnation unless the app makes it durable."""
+    sim, _net, server, client = setup_pair()
+    runs = []
+
+    @server.on("do")
+    def do(_ep, msg):
+        runs.append(1)
+        return {"n": len(runs)}
+
+    def run():
+        yield from client.call("server", "do", {"uniquifier": "u-1"})
+        server.stop("crash")
+        server.restart()
+        yield from client.call("server", "do", {"uniquifier": "u-1"}, timeout=2.0)
+        return len(runs)
+
+    assert sim.run_process(run()) == 2
+
+
+def test_stop_fails_outstanding_calls():
+    sim, _net, server, client = setup_pair()
+
+    @server.on("slow")
+    def slow(_ep, _msg):
+        yield Timeout(100.0)
+        return {}
+
+    def run():
+        try:
+            yield from client.call("server", "slow", timeout=5.0, retries=0)
+        except TimeoutError_:
+            return "timed out"
+
+    def crasher():
+        yield Timeout(1.0)
+        server.stop("dead")
+
+    sim.spawn(crasher())
+    assert sim.run_process(run()) == "timed out"
+
+
+def test_cast_fire_and_forget():
+    sim, _net, server, client = setup_pair()
+    seen = []
+
+    @server.on("note")
+    def note(_ep, msg):
+        seen.append(msg.payload["text"])
+        return {}
+
+    client.cast("server", "note", {"text": "hello"})
+    sim.run(until=1.0)
+    assert seen == ["hello"]
+
+
+def test_fresh_uniquifiers_unique():
+    ids = {fresh_uniquifier() for _ in range(100)}
+    assert len(ids) == 100

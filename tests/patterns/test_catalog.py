@@ -1,0 +1,54 @@
+"""Catalog integrity and dependency chaining."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.patterns import CATALOG, pattern_by_name
+
+
+def test_catalog_nonempty_and_named_uniquely():
+    names = [pattern.name for pattern in CATALOG]
+    assert len(names) == len(set(names))
+    assert len(CATALOG) >= 8
+
+
+def test_every_pattern_cites_the_paper_and_an_implementation():
+    for pattern in CATALOG:
+        assert pattern.paper_section.startswith("§")
+        assert pattern.implemented_by
+        assert pattern.problem and pattern.mechanism
+
+
+def test_requires_are_satisfiable_within_the_catalog():
+    """Every 'requires' capability is provided by some other pattern —
+    the taxonomy is closed."""
+    provided = {cap for pattern in CATALOG for cap in pattern.provides}
+    for pattern in CATALOG:
+        for capability in pattern.requires:
+            assert capability in provided, (pattern.name, capability)
+
+
+def test_lookup():
+    assert pattern_by_name("uniquifier").paper_section.startswith("§2.1")
+    with pytest.raises(SimulationError):
+        pattern_by_name("silver-bullet")
+
+
+def test_implementations_are_importable():
+    """Each implemented_by mentions at least one real module path."""
+    import importlib
+
+    for pattern in CATALOG:
+        module_names = [
+            token.strip().split(" ")[0]
+            for token in pattern.implemented_by.split(";")
+        ]
+        imported_any = False
+        for name in module_names:
+            root = ".".join(name.split(".")[:2])
+            try:
+                importlib.import_module(root)
+                imported_any = True
+            except ImportError:
+                continue
+        assert imported_any, pattern.name

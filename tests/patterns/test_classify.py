@@ -1,0 +1,88 @@
+"""Classifier: measures ACID 2.0 per type and recommends the right
+patterns for bank-like and register-like op spaces."""
+
+from repro.bank import build_account_registry
+from repro.core import Operation, TypeRegistry
+from repro.patterns import classify_operation_space
+from repro.patterns.classify import explain
+
+
+def bank_sample():
+    return [
+        Operation("DEPOSIT", {"amount": 100.0}, uniquifier="d1", ingress_time=1.0),
+        Operation("DEPOSIT", {"amount": 50.0}, uniquifier="d2", ingress_time=2.0),
+        Operation("CLEAR_CHECK", {"amount": 30.0}, uniquifier="c1", ingress_time=3.0),
+        Operation("FEE", {"amount": 5.0}, uniquifier="f1", ingress_time=4.0),
+    ]
+
+
+def register_registry():
+    registry = TypeRegistry(initial_state=dict)
+    registry.register(
+        "SET", lambda s, op: {**s, "value": op.args["value"]},
+        declared_commutative=False,
+    )
+    return registry
+
+
+def test_bank_space_is_fully_commutative_and_escrowable():
+    profile = classify_operation_space(build_account_registry(), bank_sample())
+    assert profile.fully_commutative
+    assert profile.idempotent_via_uniquifier
+    assert "DEPOSIT" in profile.numeric_types
+    names = [pattern.name for pattern in profile.recommendations]
+    assert "uniquifier" in names
+    assert "operation-centric-capture" in names
+    assert "escrow-locking" in names
+    assert "memories-guesses-apologies" in names
+
+
+def test_register_space_flags_noncommutativity():
+    registry = register_registry()
+    ops = [
+        Operation("SET", {"value": "a"}, uniquifier="s1", ingress_time=1.0),
+        Operation("SET", {"value": "b"}, uniquifier="s2", ingress_time=2.0),
+    ]
+    profile = classify_operation_space(registry, ops)
+    assert not profile.per_type_commutative["SET"]
+    assert not profile.fully_commutative
+    names = [pattern.name for pattern in profile.recommendations]
+    # The refactoring target is still recommended; the blind-trust
+    # patterns (memories/guesses alone) are not.
+    assert "operation-centric-capture" in names
+    assert "memories-guesses-apologies" not in names
+    assert "escrow-locking" not in names
+
+
+def test_mixed_space_cross_type_detection():
+    """ADD commutes with itself but not with SET."""
+    registry = TypeRegistry(initial_state=dict)
+    registry.register(
+        "ADD", lambda s, op: {**s, "v": s.get("v", 0) + op.args["amount"]}
+    )
+    registry.register(
+        "SET", lambda s, op: {**s, "v": op.args["amount"]},
+        declared_commutative=False,
+    )
+    ops = [
+        Operation("ADD", {"amount": 1}, uniquifier="a1", ingress_time=1.0),
+        Operation("SET", {"amount": 10}, uniquifier="s1", ingress_time=2.0),
+    ]
+    profile = classify_operation_space(registry, ops)
+    assert profile.per_type_commutative["ADD"]
+    assert not profile.cross_type_commutative
+    assert not profile.fully_commutative
+
+
+def test_empty_sample():
+    profile = classify_operation_space(build_account_registry(), [])
+    assert profile.fully_commutative  # vacuously
+    assert profile.per_type_commutative == {}
+
+
+def test_explain_renders():
+    profile = classify_operation_space(build_account_registry(), bank_sample())
+    text = explain(profile)
+    assert "DEPOSIT: commutative" in text
+    assert "Recommended patterns:" in text
+    assert "escrow" in text

@@ -1,0 +1,73 @@
+"""Property-based: CAP-cell accounting identities under arbitrary
+schedules of increments, partitions, and heals."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cap import CapCell, Stance
+
+events = st.lists(
+    st.one_of(
+        st.tuples(st.just("inc"), st.sampled_from(["east", "west"]),
+                  st.integers(1, 9)),
+        st.tuples(st.just("cut"), st.just("east"), st.just(0)),
+        st.tuples(st.just("heal"), st.just("east"), st.just(0)),
+    ),
+    max_size=40,
+)
+
+
+def drive(cell, schedule):
+    clock = 0.0
+    for index, (kind, site, amount) in enumerate(schedule):
+        clock += 1.0
+        if kind == "inc":
+            cell.increment(site, float(amount), f"u{index}", at=clock)
+        elif kind == "cut":
+            cell.partition()
+        else:
+            cell.heal()
+    cell.heal()
+
+
+@given(events)
+@settings(max_examples=80)
+def test_ap_ops_never_loses_value(schedule):
+    cell = CapCell(Stance.AP_OPS)
+    drive(cell, schedule)
+    assert cell.read("east") == cell.read("west") == cell.total_accepted_amount
+    assert cell.lost_updates == []
+    assert cell.consistent()
+
+
+@given(events)
+@settings(max_examples=80)
+def test_cp_never_loses_and_never_diverges(schedule):
+    cell = CapCell(Stance.CP)
+    drive(cell, schedule)
+    assert cell.read("east") == cell.total_accepted_amount
+    assert cell.lost_updates == []
+    assert cell.consistent()
+
+
+@given(events)
+@settings(max_examples=80)
+def test_lww_conserves_or_loses_exactly_the_recorded_updates(schedule):
+    """After healing, the LWW value equals accepted total minus the sum of
+    the updates the merge recorded as lost — loss is real but accounted."""
+    cell = CapCell(Stance.AP_LWW)
+    amounts = {}
+    clock = 0.0
+    for index, (kind, site, amount) in enumerate(schedule):
+        clock += 1.0
+        if kind == "inc":
+            if cell.increment(site, float(amount), f"u{index}", at=clock):
+                amounts[f"u{index}"] = float(amount)
+        elif kind == "cut":
+            cell.partition()
+        else:
+            cell.heal()
+    cell.heal()
+    lost_value = sum(amounts.get(uniq, 0.0) for uniq in cell.lost_updates)
+    assert cell.read("east") == cell.total_accepted_amount - lost_value
+    assert cell.consistent()

@@ -1,0 +1,59 @@
+"""Property-based: the op-centric cart is partition-oblivious — however
+you split the operations into sibling blobs, merging recovers exactly the
+ground-truth cart."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cart import CartOp, OpCartStrategy, materialize
+
+cart_ops = st.builds(
+    CartOp,
+    kind=st.sampled_from(["ADD", "CHANGE", "DELETE"]),
+    item=st.sampled_from(["book", "pen", "ink"]),
+    quantity=st.integers(min_value=0, max_value=5),
+    uniquifier=st.uuids().map(str),
+    time=st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+)
+
+
+@given(st.lists(cart_ops, max_size=12), st.lists(st.booleans(), max_size=12))
+@settings(max_examples=80)
+def test_any_sibling_split_merges_to_ground_truth(ops, sides):
+    strategy = OpCartStrategy()
+    left, right = strategy.empty(), strategy.empty()
+    for index, op in enumerate(ops):
+        goes_left = sides[index] if index < len(sides) else True
+        if goes_left:
+            left = strategy.apply(left, op)
+        else:
+            right = strategy.apply(right, op)
+    merged = strategy.merge([left, right])
+    assert strategy.view(merged) == materialize(ops)
+
+
+@given(st.lists(cart_ops, max_size=10))
+@settings(max_examples=60)
+def test_merge_idempotent_and_duplicate_safe(ops):
+    strategy = OpCartStrategy()
+    blob = strategy.empty()
+    for op in ops:
+        blob = strategy.apply(blob, op)
+        blob = strategy.apply(blob, op)  # duplicate delivery
+    merged = strategy.merge([blob, blob, blob])
+    assert strategy.view(merged) == materialize(ops)
+
+
+@given(st.lists(cart_ops, max_size=10))
+@settings(max_examples=60)
+def test_materialize_never_negative(ops):
+    cart = materialize(ops)
+    assert all(quantity > 0 for quantity in cart.values())
+
+
+@given(st.lists(cart_ops, max_size=10), st.randoms())
+@settings(max_examples=60)
+def test_materialize_input_order_independent(ops, rng):
+    shuffled = list(ops)
+    rng.shuffle(shuffled)
+    assert materialize(ops) == materialize(shuffled)

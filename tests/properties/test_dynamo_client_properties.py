@@ -1,0 +1,66 @@
+"""Property-based at the Dynamo client: context-carrying writers never
+create siblings; blind writers create at most one sibling each."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dynamo import DynamoCluster
+
+
+@given(st.lists(st.integers(0, 100), min_size=1, max_size=8))
+@settings(max_examples=25, deadline=None)
+def test_single_writer_with_context_never_forks(values):
+    cluster = DynamoCluster(seed=5)
+    client = cluster.client()
+
+    def run():
+        context = None
+        for value in values:
+            context = yield from client.put("k", value, context=context)
+            result = yield from client.get("k")
+            context = result.context
+        final = yield from client.get("k")
+        return final
+
+    result = cluster.sim.run_process(run())
+    assert not result.conflicted
+    assert result.values == [values[-1]]
+
+
+@given(st.integers(min_value=1, max_value=5))
+@settings(max_examples=15, deadline=None)
+def test_n_blind_writers_at_most_n_siblings(writer_count):
+    cluster = DynamoCluster(seed=7)
+    clients = [cluster.client(f"w{i}") for i in range(writer_count)]
+
+    def run():
+        for index, client in enumerate(clients):
+            yield from client.put("k", f"v{index}")  # all blind
+        reader = clients[0]
+        result = yield from reader.get("k")
+        return result
+
+    result = cluster.sim.run_process(run())
+    assert 1 <= len(result.siblings) <= writer_count
+    # The merged context covers every sibling.
+    for sibling in result.siblings:
+        assert result.context.descends(sibling.clock)
+
+
+@given(st.integers(min_value=2, max_value=5))
+@settings(max_examples=15, deadline=None)
+def test_reconciling_put_always_collapses(writer_count):
+    cluster = DynamoCluster(seed=9)
+    clients = [cluster.client(f"w{i}") for i in range(writer_count)]
+
+    def run():
+        for index, client in enumerate(clients):
+            yield from client.put("k", f"v{index}")
+        reader = clients[0]
+        conflicted = yield from reader.get("k")
+        yield from reader.put("k", "merged", context=conflicted.context)
+        final = yield from reader.get("k")
+        return final
+
+    result = cluster.sim.run_process(run())
+    assert result.values == ["merged"]

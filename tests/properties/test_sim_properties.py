@@ -1,0 +1,58 @@
+"""Property-based: the kernel executes callbacks in non-decreasing time
+order with FIFO tie-breaking, and percentiles match numpy."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Simulator
+from repro.sim.metrics import Histogram
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1000.0, allow_nan=False), max_size=50))
+@settings(max_examples=60)
+def test_execution_times_non_decreasing(delays):
+    sim = Simulator()
+    executed = []
+    for delay in delays:
+        sim.schedule(delay, lambda d=delay: executed.append(sim.now))
+    sim.run()
+    assert executed == sorted(executed)
+    assert len(executed) == len(delays)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=3), min_size=1, max_size=30))
+@settings(max_examples=50)
+def test_same_time_fifo(tags):
+    """Everything scheduled for the same instant runs in insertion order."""
+    sim = Simulator()
+    order = []
+    for tag in tags:
+        sim.schedule(5.0, order.append, tag)
+    sim.run()
+    assert order == tags
+
+
+@given(
+    st.lists(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+             min_size=1, max_size=100),
+    st.floats(min_value=0.0, max_value=100.0),
+)
+@settings(max_examples=80)
+def test_percentile_matches_numpy(values, q):
+    hist = Histogram("h")
+    for value in values:
+        hist.observe(value)
+    ours = hist.percentile(q)
+    theirs = float(np.percentile(np.array(values), q))
+    assert abs(ours - theirs) < 1e-6 * max(1.0, abs(theirs))
+
+
+@given(st.integers(min_value=0, max_value=2**31), st.text(min_size=1, max_size=8))
+@settings(max_examples=40)
+def test_rng_streams_reproducible(seed, name):
+    from repro.sim import RngRegistry
+
+    first = [RngRegistry(seed).stream(name).random() for _ in range(3)]
+    second = [RngRegistry(seed).stream(name).random() for _ in range(3)]
+    assert first == second

@@ -1,0 +1,84 @@
+"""Property-based: vector clocks form a partial order with merge as LUB,
+and sibling pruning keeps exactly the maximal frontier."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dynamo import VectorClock, VersionedValue
+from repro.dynamo.versions import prune_dominated
+
+clocks = st.dictionaries(
+    keys=st.sampled_from(["n1", "n2", "n3"]),
+    values=st.integers(min_value=0, max_value=5),
+    max_size=3,
+).map(VectorClock)
+
+
+@given(clocks)
+def test_descends_reflexive(a):
+    assert a.descends(a)
+
+
+@given(clocks, clocks)
+def test_descends_antisymmetric(a, b):
+    if a.descends(b) and b.descends(a):
+        assert a == b
+
+
+@given(clocks, clocks, clocks)
+@settings(max_examples=60)
+def test_descends_transitive(a, b, c):
+    if a.descends(b) and b.descends(c):
+        assert a.descends(c)
+
+
+@given(clocks, clocks)
+def test_merge_is_upper_bound(a, b):
+    merged = a.merge(b)
+    assert merged.descends(a)
+    assert merged.descends(b)
+
+
+@given(clocks, clocks, clocks)
+@settings(max_examples=60)
+def test_merge_is_least_upper_bound(a, b, c):
+    if c.descends(a) and c.descends(b):
+        assert c.descends(a.merge(b))
+
+
+@given(clocks, clocks)
+def test_merge_commutative(a, b):
+    assert a.merge(b) == b.merge(a)
+
+
+@given(clocks)
+def test_increment_strictly_descends(a):
+    bumped = a.increment("n1")
+    assert bumped.descends(a)
+    assert not a.descends(bumped)
+
+
+@given(st.lists(clocks, max_size=8))
+@settings(max_examples=60)
+def test_prune_keeps_only_maximal_frontier(clock_list):
+    versions = [VersionedValue(i, clock) for i, clock in enumerate(clock_list)]
+    frontier = prune_dominated(versions)
+    # 1. Pairwise concurrent (no member dominates another).
+    for x in frontier:
+        for y in frontier:
+            if x is not y:
+                assert not x.clock.descends(y.clock) or not y.clock.descends(x.clock)
+    # 2. Complete: every input is descended by some frontier member.
+    for version in versions:
+        assert any(kept.clock.descends(version.clock) for kept in frontier)
+    # 3. Frontier clocks are distinct.
+    assert len({kept.clock for kept in frontier}) == len(frontier)
+
+
+@given(st.lists(clocks, max_size=6))
+@settings(max_examples=40)
+def test_prune_insensitive_to_input_order(clock_list):
+    versions = [VersionedValue(i, clock) for i, clock in enumerate(clock_list)]
+    forward = {v.clock for v in prune_dominated(versions)}
+    backward = {v.clock for v in prune_dominated(list(reversed(versions)))}
+    assert forward == backward

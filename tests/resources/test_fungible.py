@@ -1,0 +1,54 @@
+"""Fungible pools: idempotent grants, redundant returns."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.resources import FungiblePool
+
+
+def test_allocate_until_empty():
+    pool = FungiblePool("king-nonsmoking", 2)
+    assert pool.allocate("g1") is not None
+    assert pool.allocate("g2") is not None
+    assert pool.allocate("g3") is None
+    assert pool.free_count == 0
+
+
+def test_repeat_uniquifier_same_unit():
+    pool = FungiblePool("king-nonsmoking", 2)
+    first = pool.allocate("g1")
+    again = pool.allocate("g1")
+    assert first == again
+    assert pool.granted_count == 1
+
+
+def test_release_returns_unit():
+    pool = FungiblePool("king-nonsmoking", 1)
+    pool.allocate("g1")
+    assert pool.release("g1")
+    assert pool.free_count == 1
+    assert not pool.release("g1")  # already released
+
+
+def test_reconcile_returns_redundant_grants():
+    """Both replicas served the same order; one unit comes back (§7.5)."""
+    east = FungiblePool("king-nonsmoking", 5)
+    west = FungiblePool("king-nonsmoking", 5)
+    east.allocate("order-1")
+    west.allocate("order-1")
+    east.allocate("order-2")  # only east
+    returned = east.reconcile_with(west)
+    assert returned == 1
+    assert east.holder_of("order-1") is None
+    assert west.holder_of("order-1") is not None
+    assert east.holder_of("order-2") is not None
+
+
+def test_reconcile_category_mismatch_rejected():
+    with pytest.raises(SimulationError):
+        FungiblePool("rooms", 1).reconcile_with(FungiblePool("seats", 1))
+
+
+def test_negative_capacity_rejected():
+    with pytest.raises(SimulationError):
+        FungiblePool("x", -1)

@@ -1,0 +1,84 @@
+"""The durable cleanup queue: holds expire across service crashes."""
+
+import pytest
+
+from repro.errors import CrashedError
+from repro.resources import SeatMap, SeatState
+from repro.sim import Simulator
+
+
+def test_down_service_refuses_transitions():
+    sim = Simulator()
+    seats = SeatMap(sim, ["s0"], pending_timeout=60.0)
+    seats.crash()
+    with pytest.raises(CrashedError):
+        seats.hold("s0", "x")
+    with pytest.raises(CrashedError):
+        seats.purchase("s0", "x", "x")
+    with pytest.raises(CrashedError):
+        seats.release("s0", "x")
+
+
+def test_hold_expires_across_a_crash():
+    """The cleanup request was durably enqueued before the crash; restart
+    re-arms it and the overdue hold is reclaimed."""
+    sim = Simulator()
+    seats = SeatMap(sim, ["s0"], pending_timeout=60.0)
+    seats.hold("s0", "buyer")
+    sim.run(until=10.0)
+    seats.crash()
+    sim.run(until=100.0)  # the original timer fires while down: deferred
+    assert seats.seats["s0"].state is SeatState.PENDING
+    seats.restart()
+    sim.run(until=101.0)  # overdue: expires immediately on restart
+    assert seats.state_of("s0") is SeatState.AVAILABLE
+    assert seats.expired_holds == 1
+
+
+def test_not_yet_due_hold_keeps_its_original_deadline():
+    sim = Simulator()
+    seats = SeatMap(sim, ["s0"], pending_timeout=60.0)
+    seats.hold("s0", "buyer")
+    sim.run(until=10.0)
+    seats.crash()
+    sim.run(until=20.0)
+    seats.restart()
+    sim.run(until=59.0)
+    assert seats.state_of("s0") is SeatState.PENDING  # deadline is t=60
+    sim.run(until=61.0)
+    assert seats.state_of("s0") is SeatState.AVAILABLE
+
+
+def test_purchase_before_crash_never_expires():
+    sim = Simulator()
+    seats = SeatMap(sim, ["s0"], pending_timeout=60.0)
+    seats.hold("s0", "buyer")
+    seats.purchase("s0", "buyer", "buyer")
+    seats.crash()
+    seats.restart()
+    sim.run(until=200.0)
+    assert seats.state_of("s0") is SeatState.PURCHASED
+    assert seats.expired_holds == 0
+
+
+def test_restart_idempotent():
+    sim = Simulator()
+    seats = SeatMap(sim, ["s0"], pending_timeout=60.0)
+    seats.restart()  # up already: no-op
+    seats.hold("s0", "x")
+    seats.crash()
+    seats.restart()
+    seats.restart()
+    sim.run(until=61.0)
+    assert seats.state_of("s0") is SeatState.AVAILABLE
+    assert seats.expired_holds == 1
+
+
+def test_cleanup_queue_entry_removed_on_settle():
+    sim = Simulator()
+    seats = SeatMap(sim, ["s0"], pending_timeout=60.0)
+    seats.hold("s0", "x")
+    seats.release("s0", "x")
+    sim.run(until=61.0)  # stale timer fires: generation mismatch
+    assert seats.expired_holds == 0
+    assert seats.state_of("s0") is SeatState.AVAILABLE

@@ -1,0 +1,108 @@
+"""Composite waits: failures, mixed members, interrupts mid-wait."""
+
+from repro.errors import InterruptError, SimulationError
+from repro.sim import AllOf, AnyOf, Simulator, Timeout
+
+
+def test_anyof_failure_propagates():
+    sim = Simulator()
+    bad = sim.event("bad")
+    slow = sim.timeout_event(10.0)
+
+    def fail_soon():
+        yield Timeout(1.0)
+        bad.fail(ValueError("boom"))
+
+    def racer():
+        try:
+            yield AnyOf([bad, slow])
+        except ValueError:
+            return "saw failure"
+
+    sim.spawn(fail_soon())
+    assert sim.run_process(racer()) == "saw failure"
+
+
+def test_allof_failure_propagates_without_waiting_for_rest():
+    sim = Simulator()
+    bad = sim.event("bad")
+    slow = sim.timeout_event(100.0)
+
+    def fail_soon():
+        yield Timeout(1.0)
+        bad.fail(RuntimeError("x"))
+
+    def gatherer():
+        try:
+            yield AllOf([bad, slow])
+        except RuntimeError:
+            return sim.now
+
+    sim.spawn(fail_soon())
+    # AllOf settles each member; the failure surfaces when all are done
+    # OR immediately on the failing one completing the wait set — our
+    # semantics: failure is reported when the wait finishes.
+    result = sim.run_process(gatherer())
+    assert result in (1.0, 100.0)
+
+
+def test_anyof_mixes_events_and_processes():
+    sim = Simulator()
+
+    def quick():
+        yield Timeout(1.0)
+        return "done"
+
+    proc = sim.spawn(quick())
+    slow = sim.timeout_event(50.0)
+
+    def racer():
+        results = yield AnyOf([proc, slow])
+        return list(results.values())
+
+    assert sim.run_process(racer()) == ["done"]
+
+
+def test_anyof_rejects_garbage_member():
+    sim = Simulator()
+
+    def racer():
+        yield AnyOf(["not waitable"])
+
+    proc = sim.spawn(racer())
+    sim.run()
+    assert isinstance(proc.done.exception, SimulationError)
+
+
+def test_interrupt_while_waiting_on_anyof():
+    sim = Simulator()
+    never = sim.event("never")
+
+    def waiter():
+        try:
+            yield AnyOf([never])
+        except InterruptError:
+            return "interrupted"
+
+    proc = sim.spawn(waiter())
+    sim.schedule(2.0, proc.interrupt)
+    sim.run()
+    assert proc.done.value == "interrupted"
+    # Late trigger of the abandoned event must not resurrect the process.
+    never.trigger("late")
+    sim.run()
+    assert proc.done.value == "interrupted"
+
+
+def test_anyof_both_settle_same_instant():
+    sim = Simulator()
+    first = sim.timeout_event(5.0, value="a")
+    second = sim.timeout_event(5.0, value="b")
+
+    def racer():
+        results = yield AnyOf([first, second])
+        return sorted(v for v in results.values())
+
+    # Only the members settled at resume time are reported; at minimum one.
+    values = sim.run_process(racer())
+    assert values in (["a"], ["a", "b"])

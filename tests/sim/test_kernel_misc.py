@@ -1,0 +1,76 @@
+"""Kernel odds and ends: reentrancy, event misuse, value access."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Simulator, Timeout
+
+
+def test_run_is_not_reentrant():
+    sim = Simulator()
+    failures = []
+
+    def naughty():
+        try:
+            sim.run()
+        except SimulationError as exc:
+            failures.append(str(exc))
+
+    sim.schedule(1.0, naughty)
+    sim.run()
+    assert failures and "reentrant" in failures[0]
+
+
+def test_event_double_trigger_rejected():
+    sim = Simulator()
+    event = sim.event("once")
+    event.trigger(1)
+    with pytest.raises(SimulationError):
+        event.trigger(2)
+    with pytest.raises(SimulationError):
+        event.fail(ValueError("late"))
+
+
+def test_event_value_before_trigger_rejected():
+    sim = Simulator()
+    event = sim.event("pending")
+    with pytest.raises(SimulationError):
+        _ = event.value
+
+
+def test_event_value_after_failure_raises_the_exception():
+    sim = Simulator()
+    event = sim.event("bad").fail(KeyError("k"))
+    assert not event.ok
+    with pytest.raises(KeyError):
+        _ = event.value
+
+
+def test_fail_requires_an_exception():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.event("x").fail("not an exception")  # type: ignore[arg-type]
+
+
+def test_negative_timeout_rejected():
+    with pytest.raises(SimulationError):
+        Timeout(-0.5)
+
+
+def test_callback_added_after_trigger_runs_immediately():
+    sim = Simulator()
+    event = sim.event("done").trigger("v")
+    seen = []
+    event.add_callback(lambda e: seen.append(e.value))
+    assert seen == ["v"]
+
+
+def test_processes_named_uniquely_by_default():
+    sim = Simulator()
+
+    def idle():
+        yield Timeout(0.1)
+
+    names = {sim.spawn(idle()).name for _ in range(5)}
+    assert len(names) == 5
+    sim.run()

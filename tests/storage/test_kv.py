@@ -1,0 +1,96 @@
+"""PageStore: durable puts, volatile staging, sync, crash."""
+
+from repro.sim import Simulator
+from repro.storage import PageStore
+
+
+def test_put_get_roundtrip():
+    sim = Simulator()
+    store = PageStore(sim)
+
+    def run():
+        yield from store.put("k", "v")
+        value = yield from store.get("k")
+        return value
+
+    assert sim.run_process(run()) == "v"
+
+
+def test_volatile_put_visible_before_sync():
+    sim = Simulator()
+    store = PageStore(sim)
+    store.put_volatile("k", "staged")
+
+    def run():
+        value = yield from store.get("k")
+        return value
+
+    assert sim.run_process(run()) == "staged"
+    assert store.staged_count == 1
+
+
+def test_staged_page_shadows_durable():
+    sim = Simulator()
+    store = PageStore(sim)
+
+    def run():
+        yield from store.put("k", "old")
+        store.put_volatile("k", "new")
+        value = yield from store.get("k")
+        return value
+
+    assert sim.run_process(run()) == "new"
+
+
+def test_sync_makes_staged_durable():
+    sim = Simulator()
+    store = PageStore(sim)
+    store.put_volatile("a", 1)
+    store.put_volatile("b", 2)
+
+    def run():
+        count = yield from store.sync()
+        return count
+
+    assert sim.run_process(run()) == 2
+    assert store.staged_count == 0
+    assert store.disk.peek("a") == 1
+
+
+def test_crash_loses_staged_only():
+    sim = Simulator()
+    store = PageStore(sim)
+
+    def run():
+        yield from store.put("durable", 1)
+
+    sim.run_process(run())
+    store.put_volatile("volatile", 2)
+    lost = store.crash()
+    assert lost == {"volatile": 2}
+    assert store.peek("durable") == 1
+    assert store.peek("volatile") is None
+
+
+def test_keys_union_staged_and_durable():
+    sim = Simulator()
+    store = PageStore(sim)
+
+    def run():
+        yield from store.put("a", 1)
+
+    sim.run_process(run())
+    store.put_volatile("b", 2)
+    store.put_volatile("a", 10)
+    assert sorted(store.keys()) == ["a", "b"]
+
+
+def test_sync_empty_returns_zero():
+    sim = Simulator()
+    store = PageStore(sim)
+
+    def run():
+        count = yield from store.sync()
+        return count
+
+    assert sim.run_process(run()) == 0

@@ -1,0 +1,94 @@
+"""Mirrored pair: transparency of single-side failure."""
+
+from repro.errors import CrashedError
+from repro.sim import Simulator
+from repro.storage import MirroredDisk
+
+
+def test_write_lands_on_both_sides():
+    sim = Simulator()
+    mirror = MirroredDisk(sim)
+
+    def run():
+        yield from mirror.write("k", "v")
+
+    sim.run_process(run())
+    assert mirror.left.peek("k") == "v"
+    assert mirror.right.peek("k") == "v"
+
+
+def test_parallel_write_costs_one_disk_time():
+    sim = Simulator()
+    mirror = MirroredDisk(sim, service_time=1.0, per_item_time=0.0)
+
+    def run():
+        yield from mirror.write("k", "v")
+        return sim.now
+
+    assert sim.run_process(run()) == 1.0  # both sides in parallel
+
+
+def test_read_survives_one_failure():
+    sim = Simulator()
+    mirror = MirroredDisk(sim)
+
+    def run():
+        yield from mirror.write("k", "v")
+        mirror.left.fail()
+        value = yield from mirror.read("k")
+        return value
+
+    assert sim.run_process(run()) == "v"
+    assert mirror.available
+
+
+def test_write_survives_one_failure():
+    sim = Simulator()
+    mirror = MirroredDisk(sim)
+    mirror.right.fail()
+
+    def run():
+        yield from mirror.write("k", "v")
+
+    sim.run_process(run())
+    assert mirror.left.peek("k") == "v"
+
+
+def test_both_failed_raises():
+    sim = Simulator()
+    mirror = MirroredDisk(sim)
+    mirror.left.fail()
+    mirror.right.fail()
+    assert not mirror.available
+
+    def run():
+        try:
+            yield from mirror.write("k", "v")
+        except CrashedError:
+            return "dead"
+
+    assert sim.run_process(run()) == "dead"
+
+
+def test_resilver_copies_missed_blocks():
+    sim = Simulator()
+    mirror = MirroredDisk(sim)
+
+    def run():
+        yield from mirror.write("before", 1)
+        mirror.right.fail()
+        yield from mirror.write("during", 2)
+        mirror.right.repair()
+
+    sim.run_process(run())
+    assert mirror.right.peek("during") is None
+    assert mirror.resilver() == 1
+    assert mirror.right.peek("during") == 2
+
+
+def test_peek_checks_both_sides():
+    sim = Simulator()
+    mirror = MirroredDisk(sim)
+    mirror.left._blocks["only-right... wait, left"] = 1
+    assert mirror.peek("only-right... wait, left") == 1
+    assert mirror.peek("missing") is None

@@ -1,0 +1,120 @@
+"""WAL: LSNs, flush horizon, crash loss, recovery reads."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Simulator
+from repro.storage import Disk, WriteAheadLog
+
+
+def make_wal(seed=0):
+    sim = Simulator(seed=seed)
+    wal = WriteAheadLog(sim, Disk(sim, name="log"))
+    return sim, wal
+
+
+def test_append_stamps_increasing_lsns():
+    _sim, wal = make_wal()
+    first = wal.append("WRITE", txn_id=1)
+    second = wal.append("COMMIT", txn_id=1)
+    assert (first.lsn, second.lsn) == (1, 2)
+    assert wal.last_lsn == 2
+
+
+def test_append_is_volatile_until_flush():
+    _sim, wal = make_wal()
+    wal.append("WRITE", txn_id=1)
+    assert wal.durable_lsn == 0
+    assert wal.buffered_count == 1
+
+
+def test_flush_advances_durable_lsn():
+    sim, wal = make_wal()
+    wal.append("WRITE", txn_id=1)
+    wal.append("COMMIT", txn_id=1)
+
+    def run():
+        lsn = yield from wal.flush()
+        return lsn
+
+    assert sim.run_process(run()) == 2
+    assert wal.durable_lsn == 2
+    assert wal.buffered_count == 0
+
+
+def test_flush_empty_is_noop():
+    sim, wal = make_wal()
+
+    def run():
+        lsn = yield from wal.flush()
+        return (lsn, sim.now)
+
+    assert sim.run_process(run()) == (0, 0.0)
+
+
+def test_lose_volatile_drops_only_the_tail():
+    sim, wal = make_wal()
+    wal.append("WRITE", txn_id=1)
+
+    def run():
+        yield from wal.flush()
+
+    sim.run_process(run())
+    wal.append("WRITE", txn_id=2)
+    lost = wal.lose_volatile()
+    assert [r.txn_id for r in lost] == [2]
+    assert wal.durable_lsn == 1
+    assert [r.txn_id for r in wal.durable_records()] == [1]
+
+
+def test_lsns_not_reused_after_loss():
+    sim, wal = make_wal()
+    wal.append("WRITE", txn_id=1)
+    wal.lose_volatile()
+    record = wal.append("WRITE", txn_id=2)
+    assert record.lsn == 2  # LSN 1 was consumed by the lost record
+
+
+def test_durable_records_in_lsn_order():
+    sim, wal = make_wal()
+    for i in range(5):
+        wal.append("WRITE", txn_id=i)
+
+    def run():
+        yield from wal.flush()
+
+    sim.run_process(run())
+    assert [r.lsn for r in wal.durable_records()] == [1, 2, 3, 4, 5]
+
+
+def test_records_between_for_shipping_cursor():
+    sim, wal = make_wal()
+    for i in range(5):
+        wal.append("WRITE", txn_id=i)
+
+    def run():
+        yield from wal.flush()
+
+    sim.run_process(run())
+    shipped = wal.records_between(2, 4)
+    assert [r.lsn for r in shipped] == [3, 4]
+
+
+def test_records_between_beyond_durable_rejected():
+    _sim, wal = make_wal()
+    wal.append("WRITE")
+    with pytest.raises(SimulationError):
+        wal.records_between(0, 1)  # lsn 1 not durable yet
+
+
+def test_record_payload_roundtrip():
+    sim, wal = make_wal()
+    wal.append("WRITE", txn_id=7, page="p1", value=42)
+
+    def run():
+        yield from wal.flush()
+
+    sim.run_process(run())
+    record = wal.durable_records()[0]
+    assert record.payload == {"page": "p1", "value": 42}
+    assert record.txn_id == 7

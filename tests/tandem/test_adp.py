@@ -1,0 +1,86 @@
+"""Audit Disk Process unit behaviour."""
+
+from repro.net import Endpoint, Network
+from repro.sim import Simulator
+from repro.tandem import AuditDiskProcess, TmfRegistry, TxnStatus
+
+
+def make_adp(seed=1):
+    sim = Simulator(seed=seed)
+    net = Network(sim)
+    registry = TmfRegistry()
+    adp = AuditDiskProcess(sim, net, registry)
+    client = Endpoint(net, "client")
+    client.start()
+    return sim, adp, registry, client
+
+
+def test_log_batch_becomes_durable():
+    sim, adp, _registry, client = make_adp()
+
+    def run():
+        yield from client.call("adp", "LOG", {
+            "source": "dp0",
+            "records": [
+                {"lsn": 1, "kind": "WRITE", "txn": 1, "key": "x", "value": 1},
+                {"lsn": 2, "kind": "WRITE", "txn": 1, "key": "y", "value": 2},
+            ],
+        })
+
+    sim.run_process(run())
+    records = adp.durable_records_for("dp0")
+    assert [r["lsn"] for r in records] == [1, 2]
+
+
+def test_records_partitioned_by_source():
+    sim, adp, _registry, client = make_adp()
+
+    def run():
+        yield from client.call("adp", "LOG", {
+            "source": "dp0",
+            "records": [{"lsn": 1, "kind": "WRITE", "txn": 1, "key": "x", "value": 1}],
+        })
+        yield from client.call("adp", "LOG", {
+            "source": "dp1",
+            "records": [{"lsn": 1, "kind": "WRITE", "txn": 2, "key": "z", "value": 9}],
+        })
+
+    sim.run_process(run())
+    assert len(adp.durable_records_for("dp0")) == 1
+    assert len(adp.durable_records_for("dp1")) == 1
+
+
+def test_commit_decides_and_marks_registry():
+    sim, adp, registry, client = make_adp()
+    txn = registry.new_txn()
+
+    def run():
+        yield from client.call("adp", "COMMIT", {"txn": txn})
+
+    sim.run_process(run())
+    assert txn in adp.committed_txns()
+    assert registry.status(txn) is TxnStatus.COMMITTED
+
+
+def test_commit_retry_idempotent():
+    sim, adp, registry, client = make_adp()
+    txn = registry.new_txn()
+
+    def run():
+        yield from client.call("adp", "COMMIT", {"txn": txn})
+        yield from client.call("adp", "COMMIT", {"txn": txn})
+
+    sim.run_process(run())
+    assert len(adp.committed_txns()) == 1
+
+
+def test_log_rewrite_same_lsn_overwrites_not_duplicates():
+    sim, adp, _registry, client = make_adp()
+    record = {"lsn": 5, "kind": "WRITE", "txn": 3, "key": "x", "value": 1}
+
+    def run():
+        yield from client.call("adp", "LOG", {"source": "dp0", "records": [record]})
+        yield from client.call("adp", "LOG", {"source": "dp0", "records": [record]})
+
+    sim.run_process(run())
+    assert len(adp.durable_records_for("dp0")) == 1

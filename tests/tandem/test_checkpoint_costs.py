@@ -1,0 +1,58 @@
+"""The E1 shape at unit scale: DP2's WRITE is cheaper than DP1's.
+
+§3.2: combining checkpointing with logging was "a dramatic savings in CPU
+cost and an even more dramatic savings in latency since the application
+did not need to wait for the checkpoint to see the response to the WRITE."
+"""
+
+from repro.tandem import DPMode, TandemConfig, TandemSystem
+
+
+def run_workload(mode, writes_per_txn=4, txns=10, seed=3):
+    system = TandemSystem(TandemConfig(mode=mode, num_dps=1), seed=seed)
+    client = system.client()
+
+    def job():
+        for t in range(txns):
+            txn = client.begin()
+            for w in range(writes_per_txn):
+                yield from client.write(txn, "dp0", f"k{t}-{w}", w)
+            yield from client.commit(txn)
+
+    system.sim.run_process(job())
+    return system
+
+
+def test_dp1_checkpoints_every_write():
+    system = run_workload(DPMode.DP1, writes_per_txn=4, txns=10)
+    assert system.sim.metrics.counter("tandem.dp0.checkpoints").value == 40
+
+
+def test_dp2_never_checkpoints_per_write():
+    system = run_workload(DPMode.DP2, writes_per_txn=4, txns=10)
+    assert system.sim.metrics.counter("tandem.dp0.checkpoints").value == 0
+    assert system.sim.metrics.counter("tandem.dp0.ships").value >= 1
+
+
+def test_dp2_write_latency_beats_dp1():
+    dp1 = run_workload(DPMode.DP1)
+    dp2 = run_workload(DPMode.DP2)
+    dp1_latency = dp1.sim.metrics.histogram("tandem.write_latency").mean
+    dp2_latency = dp2.sim.metrics.histogram("tandem.write_latency").mean
+    assert dp2_latency < dp1_latency / 1.5
+
+
+def test_dp2_sends_fewer_messages():
+    dp1 = run_workload(DPMode.DP1)
+    dp2 = run_workload(DPMode.DP2)
+    assert (
+        dp2.sim.metrics.counter("net.sent").value
+        < dp1.sim.metrics.counter("net.sent").value
+    )
+
+
+def test_dp2_ships_batch_multiple_records():
+    system = run_workload(DPMode.DP2, writes_per_txn=8, txns=5)
+    ships = system.sim.metrics.counter("tandem.dp0.ships").value
+    records = system.sim.metrics.counter("tandem.dp0.shipped_records").value
+    assert records / ships > 1.5  # the bus carries more than one rider

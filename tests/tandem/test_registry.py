@@ -1,0 +1,80 @@
+"""TMF registry: statuses, dirty sets, takeover aborts."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.tandem import TmfRegistry, TxnStatus
+
+
+def test_new_txns_get_unique_ids():
+    registry = TmfRegistry()
+    ids = {registry.new_txn() for _ in range(10)}
+    assert len(ids) == 10
+
+
+def test_initial_status_active():
+    registry = TmfRegistry()
+    txn = registry.new_txn()
+    assert registry.status(txn) is TxnStatus.ACTIVE
+
+
+def test_unknown_txn_rejected():
+    registry = TmfRegistry()
+    with pytest.raises(SimulationError):
+        registry.status(99)
+
+
+def test_commit_and_abort_transitions():
+    registry = TmfRegistry()
+    a, b = registry.new_txn(), registry.new_txn()
+    registry.mark_committed(a)
+    registry.mark_aborted(b)
+    assert registry.status(a) is TxnStatus.COMMITTED
+    assert registry.status(b) is TxnStatus.ABORTED
+
+
+def test_commit_after_abort_rejected():
+    registry = TmfRegistry()
+    txn = registry.new_txn()
+    registry.mark_aborted(txn)
+    with pytest.raises(SimulationError):
+        registry.mark_committed(txn)
+
+
+def test_abort_after_commit_rejected():
+    registry = TmfRegistry()
+    txn = registry.new_txn()
+    registry.mark_committed(txn)
+    with pytest.raises(SimulationError):
+        registry.mark_aborted(txn)
+
+
+def test_abort_active_dirty_at_targets_only_that_dp():
+    registry = TmfRegistry()
+    at_dp0 = registry.new_txn()
+    at_dp1 = registry.new_txn()
+    committed_at_dp0 = registry.new_txn()
+    registry.mark_dirty(at_dp0, "dp0")
+    registry.mark_dirty(at_dp1, "dp1")
+    registry.mark_dirty(committed_at_dp0, "dp0")
+    registry.mark_committed(committed_at_dp0)
+    aborted = registry.abort_active_dirty_at("dp0")
+    assert aborted == [at_dp0]
+    assert registry.status(at_dp1) is TxnStatus.ACTIVE
+    assert registry.status(committed_at_dp0) is TxnStatus.COMMITTED
+
+
+def test_counts():
+    registry = TmfRegistry()
+    registry.mark_committed(registry.new_txn())
+    registry.new_txn()
+    assert registry.counts() == {"active": 1, "committed": 1, "aborted": 0}
+
+
+def test_dirty_set_copy():
+    registry = TmfRegistry()
+    txn = registry.new_txn()
+    registry.mark_dirty(txn, "dp0")
+    dirty = registry.dirty_set(txn)
+    dirty.add("dp9")
+    assert registry.dirty_set(txn) == {"dp0"}

@@ -1,0 +1,58 @@
+"""The experiment index stays consistent with the repository."""
+
+import importlib
+import pathlib
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.experiments import EXPERIMENTS, by_id, index, summary_table
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def test_ids_unique_and_complete():
+    ids = [e.id for e in EXPERIMENTS]
+    assert len(ids) == len(set(ids))
+    assert [e.id for e in EXPERIMENTS if e.id.startswith("E")] == [
+        f"E{i}" for i in range(1, 13)
+    ]
+    assert len([e for e in EXPERIMENTS if e.id.startswith("A")]) >= 6
+
+
+def test_every_bench_file_exists():
+    for experiment in EXPERIMENTS:
+        assert (REPO_ROOT / experiment.bench).exists(), experiment.bench
+
+
+def test_every_module_imports():
+    for experiment in EXPERIMENTS:
+        for module in experiment.modules:
+            importlib.import_module(module)
+
+
+def test_every_claim_cites_a_section():
+    for experiment in EXPERIMENTS:
+        assert "§" in experiment.claim, experiment.id
+
+
+def test_lookup():
+    assert by_id("E1").title.startswith("Tandem")
+    assert "E7" in index()
+    with pytest.raises(SimulationError):
+        by_id("E99")
+
+
+def test_summary_table_renders():
+    text = summary_table().render()
+    assert "E12" in text and "A6" in text
+
+
+def test_benches_on_disk_are_all_indexed():
+    """No orphan bench: every benchmarks/bench_*.py appears in the index."""
+    indexed = {e.bench for e in EXPERIMENTS}
+    on_disk = {
+        f"benchmarks/{p.name}"
+        for p in (REPO_ROOT / "benchmarks").glob("bench_*.py")
+    }
+    assert on_disk == indexed

@@ -1,0 +1,88 @@
+"""Arrival processes."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Simulator, Timeout
+from repro.workload import closed_loop, poisson_arrivals
+
+
+def test_poisson_spawns_count_jobs():
+    sim = Simulator(seed=1)
+    done = []
+
+    def job(i):
+        yield Timeout(0.01)
+        done.append(i)
+
+    sim.spawn(poisson_arrivals(sim, rate=100.0, make_job=job, count=20))
+    sim.run()
+    assert sorted(done) == list(range(20))
+
+
+def test_poisson_until_bound():
+    sim = Simulator(seed=1)
+    done = []
+
+    def job(i):
+        done.append(i)
+        yield Timeout(0)
+
+    sim.spawn(poisson_arrivals(sim, rate=10.0, make_job=job, until=1.0))
+    sim.run()
+    # ~10 expected in 1s at rate 10; loose statistical bound.
+    assert 2 <= len(done) <= 25
+
+
+def test_poisson_needs_a_bound():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        # Generator raises at first step.
+        sim.run_process(poisson_arrivals(sim, 1.0, lambda i: iter(())))
+
+
+def test_poisson_rate_validated():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.run_process(poisson_arrivals(sim, 0.0, lambda i: iter(()), count=1))
+
+
+def test_poisson_deterministic_under_seed():
+    def run():
+        sim = Simulator(seed=7)
+        times = []
+
+        def job(i):
+            times.append(sim.now)
+            yield Timeout(0)
+
+        sim.spawn(poisson_arrivals(sim, rate=5.0, make_job=job, count=10))
+        sim.run()
+        return times
+
+    assert run() == run()
+
+
+def test_closed_loop_runs_all_jobs():
+    sim = Simulator()
+    done = []
+
+    def job(worker, index):
+        yield Timeout(1.0)
+        done.append((worker, index))
+
+    closed_loop(sim, workers=3, make_job=job, jobs_per_worker=4)
+    sim.run()
+    assert len(done) == 12
+    assert sim.now == 4.0  # each worker serial, workers parallel
+
+
+def test_closed_loop_think_time():
+    sim = Simulator()
+
+    def job(worker, index):
+        yield Timeout(1.0)
+
+    closed_loop(sim, workers=1, make_job=job, jobs_per_worker=3, think_time=0.5)
+    sim.run()
+    assert sim.now == pytest.approx(4.5)

@@ -1,0 +1,49 @@
+"""Domain generators."""
+
+import random
+
+from repro.workload import CheckStream, random_cart_sessions
+
+
+def test_check_stream_sequential_numbers():
+    stream = CheckStream(random.Random(1))
+    checks = [stream.next_check() for _ in range(5)]
+    assert [c.number for c in checks] == [1, 2, 3, 4, 5]
+    assert len({c.uniquifier for c in checks}) == 5
+
+
+def test_check_amounts_in_range():
+    stream = CheckStream(random.Random(1), low=10.0, high=20.0)
+    for _ in range(50):
+        check = stream.next_check()
+        assert 10.0 <= check.amount <= 20.0
+
+
+def test_big_fraction_produces_big_checks():
+    stream = CheckStream(random.Random(1), big_fraction=1.0, big_amount=15000.0)
+    assert stream.next_check().amount == 15000.0
+
+
+def test_cart_sessions_reproducible():
+    a = random_cart_sessions(random.Random(3), 5)
+    b = random_cart_sessions(random.Random(3), 5)
+    assert [p.steps for p in a] == [p.steps for p in b]
+
+
+def test_cart_sessions_only_known_kinds():
+    plans = random_cart_sessions(random.Random(3), 20)
+    for plan in plans:
+        for kind, _item, _qty in plan.steps:
+            assert kind in ("ADD", "CHANGE", "DELETE")
+
+
+def test_cart_delete_only_after_add():
+    plans = random_cart_sessions(random.Random(5), 30)
+    for plan in plans:
+        added = set()
+        for kind, item, _qty in plan.steps:
+            if kind == "ADD":
+                added.add(item)
+            elif kind == "DELETE":
+                assert item in added
+                added.discard(item)
