@@ -26,6 +26,12 @@ class CartService:
         self.strategy = strategy
         self.client = client or cluster.client()
         self.sim = cluster.sim
+        # The session's memory of what it last wrote, per cart. When a
+        # partition makes a GET miss our own previous PUT, the stale
+        # frontier alone would rebuild the cart without our earlier ops;
+        # folding the remembered blob in keeps the session's own history
+        # in every write (the §2.1 stance: the client remembers its work).
+        self._last_written: dict = {}
 
     # ------------------------------------------------------------------
 
@@ -55,9 +61,13 @@ class CartService:
 
     def _fold_in(self, cart_key: str, op: CartOp) -> Generator[Any, Any, None]:
         result = yield from self.client.get(cart_key)
-        blob = self._reconcile(result.values)
+        values = list(result.values)
+        if cart_key in self._last_written:
+            values.append(self._last_written[cart_key])
+        blob = self._reconcile(values)
         blob = self.strategy.apply(blob, op)
         yield from self.client.put(cart_key, blob, context=result.context)
+        self._last_written[cart_key] = blob
         self.sim.metrics.inc("cart.ops")
 
     def _reconcile(self, sibling_values: list) -> Any:

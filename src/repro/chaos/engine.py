@@ -1,0 +1,120 @@
+"""Lower a :class:`~repro.chaos.plan.ChaosPlan` onto a live simulation.
+
+The engine owns no behaviour of its own: crashes go through
+:class:`~repro.cluster.failure.FailureInjector`, partitions through
+:class:`~repro.net.partition.PartitionSchedule`, message faults through
+the :class:`~repro.net.network.Network` fault overlay, and disk faults
+through the :class:`~repro.storage.disk.Disk` hooks — one declarative
+timeline driving every per-subsystem injector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.chaos.plan import ChaosPlan, DiskFaultEpisode, LinkFaultEpisode
+from repro.cluster.failure import CrashPlan, FailureInjector
+from repro.errors import SimulationError
+from repro.net.network import NetFault, Network
+from repro.net.partition import PartitionSchedule, PartitionWindow
+from repro.sim.scheduler import Simulator
+from repro.storage.disk import Disk
+
+
+@dataclass
+class ChaosTargets:
+    """What a plan may act on.
+
+    ``nodes`` maps name → anything with ``crash()``/``restart()``;
+    ``disks`` maps name → :class:`Disk`. Both may be empty when the plan
+    does not use that episode kind.
+    """
+
+    sim: Simulator
+    network: Optional[Network] = None
+    nodes: Dict[str, Any] = field(default_factory=dict)
+    disks: Dict[str, Disk] = field(default_factory=dict)
+
+
+class ChaosEngine:
+    """Installs a plan's episodes as simulator callbacks."""
+
+    def __init__(self, targets: ChaosTargets) -> None:
+        self.targets = targets
+        self.sim = targets.sim
+        self.injector = FailureInjector(self.sim, targets.nodes)
+        self.installed: Optional[ChaosPlan] = None
+
+    def install(self, plan: ChaosPlan) -> None:
+        """Validate the plan against the targets and schedule everything."""
+        if self.installed is not None:
+            raise SimulationError("engine already has a plan installed")
+        self._validate(plan)
+        self.injector.install(
+            [CrashPlan(e.node, e.at, e.back_at) for e in plan.crashes]
+        )
+        if plan.partitions:
+            PartitionSchedule(
+                self.targets.network,
+                [PartitionWindow(e.start, e.end, e.groups) for e in plan.partitions],
+            ).install()
+        for episode in plan.link_faults:
+            self._install_link_fault(episode)
+        for episode in plan.disk_faults:
+            self._install_disk_fault(episode)
+        self.installed = plan
+        self.sim.trace.emit("chaos", "plan.installed", episodes=len(plan))
+
+    def restore(self) -> None:
+        """Undo every outstanding fault (quiesce): heal the network,
+        clear fault overlays, repair disks, restart downed nodes.
+
+        Called by scenarios after the chaos horizon so that invariants
+        about *eventual* behaviour (convergence after heal) can be
+        checked against a fully-connected world.
+        """
+        if self.targets.network is not None:
+            self.targets.network.heal()
+            self.targets.network.clear_all_faults()
+        for disk in self.targets.disks.values():
+            disk.repair()
+            disk.clear_slowdown()
+        for name in self.targets.nodes:
+            self.injector.restart(name)
+        self.sim.trace.emit("chaos", "plan.restored")
+
+    # ------------------------------------------------------------------
+
+    def _validate(self, plan: ChaosPlan) -> None:
+        for episode in plan.crashes:
+            if episode.node not in self.targets.nodes:
+                raise SimulationError(f"plan crashes unknown node {episode.node!r}")
+        if (plan.partitions or plan.link_faults) and self.targets.network is None:
+            raise SimulationError("plan needs a network target")
+        for episode in plan.disk_faults:
+            if episode.disk not in self.targets.disks:
+                raise SimulationError(f"plan faults unknown disk {episode.disk!r}")
+
+    def _install_link_fault(self, episode: LinkFaultEpisode) -> None:
+        fault = NetFault(
+            loss_probability=episode.loss,
+            duplicate_probability=episode.duplicate,
+            extra_delay=episode.extra_delay,
+            src=episode.src,
+            dst=episode.dst,
+        )
+        network = self.targets.network
+        self.sim.schedule_at(episode.start, network.inject_fault, fault)
+        self.sim.schedule_at(episode.end, network.clear_fault, fault)
+
+    def _install_disk_fault(self, episode: DiskFaultEpisode) -> None:
+        disk = self.targets.disks[episode.disk]
+        if episode.slow_factor is not None:
+            self.sim.schedule_at(episode.at, disk.set_slowdown, episode.slow_factor)
+            if episode.repair_at is not None:
+                self.sim.schedule_at(episode.repair_at, disk.clear_slowdown)
+        else:
+            self.sim.schedule_at(episode.at, disk.fail)
+            if episode.repair_at is not None:
+                self.sim.schedule_at(episode.repair_at, disk.repair)

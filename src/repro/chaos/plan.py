@@ -1,0 +1,377 @@
+"""ChaosPlan: one declarative, seed-driven fault timeline.
+
+The paper's thesis is that "reliable systems have always been built out
+of unreliable components"; a :class:`ChaosPlan` is the unreliable part
+made explicit. It composes crash/restart, partition/heal, message
+drop/delay/duplicate, and disk-fault episodes into a single schedule
+that lowers onto the simulator (see :mod:`repro.chaos.engine`) and —
+because every random choice comes from the master seed — replays
+bit-for-bit.
+
+Plans are either written by hand (regression tests pin minimal failing
+plans) or sampled from a :class:`ChaosSpec` by seed (sweeps).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.errors import SimulationError
+
+
+# ----------------------------------------------------------------------
+# Episodes
+
+
+@dataclass(frozen=True)
+class CrashEpisode:
+    """``node`` fail-fasts at ``at``; restarts at ``back_at`` (None = stays
+    down until the run quiesces)."""
+
+    node: str
+    at: float
+    back_at: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise SimulationError(f"crash at negative time {self.at}")
+        if self.back_at is not None and self.back_at <= self.at:
+            raise SimulationError(
+                f"restart {self.back_at} not after crash {self.at}"
+            )
+
+    @property
+    def start(self) -> float:
+        return self.at
+
+    @property
+    def end(self) -> float:
+        return self.back_at if self.back_at is not None else self.at
+
+
+@dataclass(frozen=True)
+class PartitionEpisode:
+    """The network splits into ``groups`` from ``start`` to ``end``."""
+
+    start: float
+    end: float
+    groups: Tuple[Tuple[str, ...], ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "groups", tuple(tuple(group) for group in self.groups)
+        )
+        if self.end <= self.start:
+            raise SimulationError(
+                f"empty partition episode [{self.start}, {self.end}]"
+            )
+        if not self.groups:
+            raise SimulationError("partition episode needs at least one group")
+
+
+@dataclass(frozen=True)
+class LinkFaultEpisode:
+    """Messages are dropped/duplicated/delayed from ``start`` to ``end``.
+
+    ``src``/``dst`` of None apply the fault to every endpoint.
+    """
+
+    start: float
+    end: float
+    loss: float = 0.0
+    duplicate: float = 0.0
+    extra_delay: float = 0.0
+    src: Optional[str] = None
+    dst: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise SimulationError(f"empty link fault [{self.start}, {self.end}]")
+        if not 0.0 <= self.loss <= 1.0 or not 0.0 <= self.duplicate <= 1.0:
+            raise SimulationError("fault probabilities must be in [0, 1]")
+        if self.extra_delay < 0:
+            raise SimulationError(f"negative fault delay {self.extra_delay}")
+        if self.loss == self.duplicate == self.extra_delay == 0.0:
+            raise SimulationError("link fault episode does nothing")
+
+
+@dataclass(frozen=True)
+class DiskFaultEpisode:
+    """``disk`` fails hard (``slow_factor`` None) or degrades by
+    ``slow_factor``× from ``at`` until ``repair_at`` (None = until
+    quiesce)."""
+
+    disk: str
+    at: float
+    repair_at: Optional[float] = None
+    slow_factor: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise SimulationError(f"disk fault at negative time {self.at}")
+        if self.repair_at is not None and self.repair_at <= self.at:
+            raise SimulationError(
+                f"repair {self.repair_at} not after fault {self.at}"
+            )
+        if self.slow_factor is not None and self.slow_factor < 1.0:
+            raise SimulationError(f"slow factor {self.slow_factor} below 1.0")
+
+    @property
+    def start(self) -> float:
+        return self.at
+
+    @property
+    def end(self) -> float:
+        return self.repair_at if self.repair_at is not None else self.at
+
+
+Episode = Union[CrashEpisode, PartitionEpisode, LinkFaultEpisode, DiskFaultEpisode]
+
+_EPISODE_KINDS = {
+    "crash": CrashEpisode,
+    "partition": PartitionEpisode,
+    "link_fault": LinkFaultEpisode,
+    "disk_fault": DiskFaultEpisode,
+}
+
+
+def _kind_of(episode: Episode) -> str:
+    for kind, cls in _EPISODE_KINDS.items():
+        if isinstance(episode, cls):
+            return kind
+    raise SimulationError(f"unknown episode type {type(episode).__name__}")
+
+
+# ----------------------------------------------------------------------
+# The plan
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """An ordered, validated collection of episodes."""
+
+    episodes: Tuple[Episode, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "episodes", tuple(self.episodes))
+        partitions = sorted(self.partitions, key=lambda e: e.start)
+        for earlier, later in zip(partitions, partitions[1:]):
+            if later.start < earlier.end:
+                raise SimulationError(
+                    f"overlapping partition episodes at {later.start} "
+                    "(the fabric models one partition at a time)"
+                )
+
+    # -- views ---------------------------------------------------------
+
+    @property
+    def crashes(self) -> Tuple[CrashEpisode, ...]:
+        return tuple(e for e in self.episodes if isinstance(e, CrashEpisode))
+
+    @property
+    def partitions(self) -> Tuple[PartitionEpisode, ...]:
+        return tuple(e for e in self.episodes if isinstance(e, PartitionEpisode))
+
+    @property
+    def link_faults(self) -> Tuple[LinkFaultEpisode, ...]:
+        return tuple(e for e in self.episodes if isinstance(e, LinkFaultEpisode))
+
+    @property
+    def disk_faults(self) -> Tuple[DiskFaultEpisode, ...]:
+        return tuple(e for e in self.episodes if isinstance(e, DiskFaultEpisode))
+
+    @property
+    def horizon(self) -> float:
+        """Latest simulated time the plan references."""
+        return max((e.end for e in self.episodes), default=0.0)
+
+    def __len__(self) -> int:
+        return len(self.episodes)
+
+    # -- shrinking support ---------------------------------------------
+
+    def without(self, index: int) -> "ChaosPlan":
+        """A new plan minus the episode at ``index``."""
+        episodes = list(self.episodes)
+        del episodes[index]
+        return ChaosPlan(tuple(episodes))
+
+    def replace_episode(self, index: int, episode: Episode) -> "ChaosPlan":
+        episodes = list(self.episodes)
+        episodes[index] = episode
+        return ChaosPlan(tuple(episodes))
+
+    # -- presentation / persistence ------------------------------------
+
+    def describe(self) -> str:
+        """One line per episode, in start order."""
+        if not self.episodes:
+            return "(empty plan)"
+        lines = []
+        for episode in sorted(self.episodes, key=lambda e: e.start):
+            if isinstance(episode, CrashEpisode):
+                back = f", back {episode.back_at:g}" if episode.back_at is not None else ", stays down"
+                lines.append(f"crash      {episode.node} @ {episode.at:g}{back}")
+            elif isinstance(episode, PartitionEpisode):
+                groups = " | ".join("{" + ",".join(g) + "}" for g in episode.groups)
+                lines.append(
+                    f"partition  [{episode.start:g}, {episode.end:g}] {groups}"
+                )
+            elif isinstance(episode, LinkFaultEpisode):
+                where = f"{episode.src or '*'}->{episode.dst or '*'}"
+                lines.append(
+                    f"link fault [{episode.start:g}, {episode.end:g}] {where} "
+                    f"loss={episode.loss:g} dup={episode.duplicate:g} "
+                    f"delay+={episode.extra_delay:g}"
+                )
+            else:
+                what = (
+                    f"slow x{episode.slow_factor:g}"
+                    if episode.slow_factor is not None
+                    else "fail"
+                )
+                repair = (
+                    f", repair {episode.repair_at:g}"
+                    if episode.repair_at is not None
+                    else ", stays broken"
+                )
+                lines.append(f"disk {what:>10} {episode.disk} @ {episode.at:g}{repair}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-able form (for pinning minimal failing plans)."""
+        out: List[Dict[str, Any]] = []
+        for episode in self.episodes:
+            entry = {"kind": _kind_of(episode)}
+            entry.update(
+                {
+                    key: value
+                    for key, value in episode.__dict__.items()
+                    if value is not None
+                }
+            )
+            if isinstance(episode, PartitionEpisode):
+                entry["groups"] = [list(group) for group in episode.groups]
+            out.append(entry)
+        return {"episodes": out}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ChaosPlan":
+        episodes: List[Episode] = []
+        for entry in data["episodes"]:
+            entry = dict(entry)
+            kind = entry.pop("kind")
+            if kind not in _EPISODE_KINDS:
+                raise SimulationError(f"unknown episode kind {kind!r}")
+            if kind == "partition":
+                entry["groups"] = tuple(tuple(g) for g in entry["groups"])
+            episodes.append(_EPISODE_KINDS[kind](**entry))
+        return cls(tuple(episodes))
+
+
+# ----------------------------------------------------------------------
+# Seed-driven sampling
+
+
+@dataclass
+class ChaosSpec:
+    """Bounds from which a concrete :class:`ChaosPlan` is drawn by seed.
+
+    Sampling is a pure function of (spec, seed): the same pair always
+    yields the same plan, so a sweep's failures are reproducible from
+    the seed alone.
+    """
+
+    nodes: Tuple[str, ...]
+    disks: Tuple[str, ...] = ()
+    horizon: float = 40.0
+    min_crashes: int = 0
+    max_crashes: int = 2
+    max_partitions: int = 2
+    max_link_faults: int = 2
+    max_disk_faults: int = 1
+    min_episode: float = 1.0
+    max_episode: float = 8.0
+    fault_loss: float = 0.3
+    fault_duplicate: float = 0.15
+    fault_extra_delay: float = 0.01
+
+    def __post_init__(self) -> None:
+        self.nodes = tuple(self.nodes)
+        self.disks = tuple(self.disks)
+        if not self.nodes:
+            raise SimulationError("chaos spec needs at least one node")
+        if self.horizon <= 0:
+            raise SimulationError("horizon must be positive")
+        if not 0 <= self.min_crashes <= self.max_crashes:
+            raise SimulationError("bad crash bounds")
+        if self.min_episode <= 0 or self.max_episode < self.min_episode:
+            raise SimulationError("bad episode duration bounds")
+
+    def sample(self, seed: int) -> ChaosPlan:
+        """Draw a plan for ``seed``; episodes end by ~0.9 × horizon so the
+        run has tail time to converge before quiesce."""
+        rng = random.Random(f"chaos-spec:{seed}")
+        latest = 0.9 * self.horizon
+        episodes: List[Episode] = []
+
+        crashes = rng.randint(self.min_crashes, self.max_crashes)
+        for _ in range(crashes):
+            node = rng.choice(self.nodes)
+            at = rng.uniform(0.05 * self.horizon, 0.6 * self.horizon)
+            outage = rng.uniform(self.min_episode, self.max_episode)
+            back_at: Optional[float] = min(at + outage, latest)
+            if rng.random() < 0.15:  # some nodes stay down to quiesce
+                back_at = None
+            episodes.append(CrashEpisode(node, round(at, 4), _round(back_at)))
+
+        cursor = rng.uniform(0.05 * self.horizon, 0.3 * self.horizon)
+        for _ in range(rng.randint(0, self.max_partitions)):
+            start = cursor + rng.uniform(0.0, 0.1 * self.horizon)
+            end = start + rng.uniform(self.min_episode, self.max_episode)
+            if end > latest or len(self.nodes) < 2:
+                break
+            episodes.append(
+                PartitionEpisode(round(start, 4), round(end, 4),
+                                 self._bipartition(rng))
+            )
+            cursor = end + rng.uniform(0.5, 2.0)
+
+        for _ in range(rng.randint(0, self.max_link_faults)):
+            start = rng.uniform(0.0, 0.7 * self.horizon)
+            end = min(start + rng.uniform(self.min_episode, self.max_episode), latest)
+            if end <= start:
+                continue
+            episodes.append(
+                LinkFaultEpisode(
+                    round(start, 4), round(end, 4),
+                    loss=round(rng.uniform(0.0, self.fault_loss), 4),
+                    duplicate=round(rng.uniform(0.0, self.fault_duplicate), 4),
+                    extra_delay=round(rng.uniform(0.0, self.fault_extra_delay), 6),
+                )
+            )
+
+        if self.disks:
+            for _ in range(rng.randint(0, self.max_disk_faults)):
+                disk = rng.choice(self.disks)
+                at = rng.uniform(0.05 * self.horizon, 0.6 * self.horizon)
+                repair = min(at + rng.uniform(self.min_episode, self.max_episode), latest)
+                slow = rng.choice((None, round(rng.uniform(2.0, 10.0), 2)))
+                episodes.append(
+                    DiskFaultEpisode(disk, round(at, 4), round(repair, 4), slow)
+                )
+
+        return ChaosPlan(tuple(episodes))
+
+    def _bipartition(self, rng: random.Random) -> Tuple[Tuple[str, ...], ...]:
+        """A random two-way split with both sides non-empty."""
+        names = list(self.nodes)
+        rng.shuffle(names)
+        cut = rng.randint(1, len(names) - 1)
+        return (tuple(sorted(names[:cut])), tuple(sorted(names[cut:])))
+
+
+def _round(value: Optional[float], digits: int = 4) -> Optional[float]:
+    return None if value is None else round(value, digits)

@@ -1,0 +1,306 @@
+"""Seed sweeps, violation rates, and greedy schedule shrinking.
+
+``ChaosRunner.sweep(seeds)`` samples a plan per seed, runs the scenario,
+and aggregates violation rates through a :class:`MetricsRegistry`. When
+a run violates an invariant, the runner shrinks the plan — greedily
+dropping episodes and narrowing the survivors while the violation still
+reproduces — and emits a minimal failing :class:`ChaosPlan` that replays
+bit-for-bit from its seed (the runner verifies the replay itself).
+
+CLI::
+
+    python -m repro.chaos.runner --smoke       # CI gate: 5-seed sanity
+    python -m repro.chaos.runner --scenario bank --seeds 20
+    python -m repro.chaos.runner --scenario bank --policy amnesiac-restart
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass, replace
+from typing import Any, Iterable, List, Optional, Sequence, Tuple
+
+from repro.chaos.plan import (
+    ChaosPlan,
+    ChaosSpec,
+    CrashEpisode,
+    DiskFaultEpisode,
+    Episode,
+    LinkFaultEpisode,
+    PartitionEpisode,
+)
+from repro.chaos.scenarios import (
+    BankClearingScenario,
+    CartDynamoScenario,
+    ChaosReport,
+)
+from repro.errors import SimulationError
+from repro.sim.metrics import MetricsRegistry
+
+
+class _RunnerClock:
+    """MetricsRegistry wants a ``.now``; the runner is outside sim time."""
+
+    now = 0.0
+
+
+@dataclass(frozen=True)
+class FailingCase:
+    """One seed's violation, before and after shrinking."""
+
+    seed: int
+    plan: ChaosPlan
+    violation: Any  # the original first Violation
+    minimal_plan: ChaosPlan
+    minimal_violation: Any
+    replay_matches: bool  # replaying (seed, minimal_plan) is bit-identical
+    shrink_evals: int
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    scenario: str
+    reports: Tuple[ChaosReport, ...]
+    failures: Tuple[FailingCase, ...]
+
+    @property
+    def runs(self) -> int:
+        return len(self.reports)
+
+    @property
+    def violation_rate(self) -> float:
+        return len(self.failures) / len(self.reports) if self.reports else 0.0
+
+
+class ChaosRunner:
+    """Sweeps seeds over a scenario; shrinks and verifies failures."""
+
+    def __init__(
+        self,
+        scenario: Any,
+        spec: Optional[ChaosSpec] = None,
+        plan: Optional[ChaosPlan] = None,
+        shrink_budget: int = 80,
+        min_window: float = 0.5,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if spec is None and plan is None:
+            spec = scenario.spec()
+        self.scenario = scenario
+        self.spec = spec
+        self.plan = plan
+        self.shrink_budget = shrink_budget
+        self.min_window = min_window
+        self.metrics = metrics or MetricsRegistry(_RunnerClock())
+
+    # ------------------------------------------------------------------
+
+    def plan_for(self, seed: int) -> ChaosPlan:
+        return self.plan if self.plan is not None else self.spec.sample(seed)
+
+    def run_seed(self, seed: int) -> ChaosReport:
+        report = self.scenario.run(seed, self.plan_for(seed))
+        self.metrics.inc("chaos.runs")
+        self.metrics.observe("chaos.violations_per_run", len(report.violations))
+        if report.failed:
+            self.metrics.inc("chaos.failing_runs")
+            for violation in report.violations:
+                self.metrics.inc(f"chaos.violation.{violation.invariant}")
+        return report
+
+    def sweep(self, seeds: Iterable[int], shrink: bool = True) -> SweepResult:
+        reports: List[ChaosReport] = []
+        failures: List[FailingCase] = []
+        for seed in seeds:
+            report = self.run_seed(seed)
+            reports.append(report)
+            if report.failed and shrink:
+                failures.append(self.shrink_case(report))
+        return SweepResult(
+            scenario=self.scenario.name,
+            reports=tuple(reports),
+            failures=tuple(failures),
+        )
+
+    # ------------------------------------------------------------------
+    # Shrinking
+
+    def shrink_case(self, report: ChaosReport) -> FailingCase:
+        """Greedy minimization of a failing plan.
+
+        Keeps the *first* violation's signature (invariant, detail) as
+        the reproduction target; detection time may move as the schedule
+        shrinks, the claimed bug may not.
+        """
+        target = report.violations[0].signature
+        evals = 0
+
+        def reproduces(candidate: ChaosPlan) -> bool:
+            nonlocal evals
+            if evals >= self.shrink_budget:
+                return False
+            evals += 1
+            self.metrics.inc("chaos.shrink.evals")
+            rerun = self.scenario.run(report.seed, candidate)
+            return rerun.failed and rerun.violations[0].signature == target
+
+        current = report.plan
+        improved = True
+        while improved and evals < self.shrink_budget:
+            improved = False
+            # Pass 1: drop whole episodes.
+            index = 0
+            while index < len(current.episodes):
+                candidate = current.without(index)
+                if reproduces(candidate):
+                    current = candidate
+                    improved = True
+                else:
+                    index += 1
+            # Pass 2: narrow the survivors.
+            for index, episode in enumerate(current.episodes):
+                for smaller in self._narrowings(episode):
+                    if reproduces(current.replace_episode(index, smaller)):
+                        current = current.replace_episode(index, smaller)
+                        improved = True
+                        break
+
+        minimal_report = self.scenario.run(report.seed, current)
+        replay = self.scenario.run(report.seed, current)
+        replay_matches = (
+            minimal_report.failed
+            and minimal_report.violations == replay.violations
+            and minimal_report.counters == replay.counters
+            and minimal_report.violations[0].signature == target
+        )
+        return FailingCase(
+            seed=report.seed,
+            plan=report.plan,
+            violation=report.violations[0],
+            minimal_plan=current,
+            minimal_violation=minimal_report.violations[0]
+            if minimal_report.failed else None,
+            replay_matches=replay_matches,
+            shrink_evals=evals,
+        )
+
+    def _narrowings(self, episode: Episode) -> List[Episode]:
+        """Smaller variants of one episode, most aggressive first."""
+        out: List[Episode] = []
+        if isinstance(episode, CrashEpisode):
+            if episode.back_at is not None:
+                # Stays-down is simpler than crash-and-restart.
+                out.append(replace(episode, back_at=None))
+        elif isinstance(episode, (PartitionEpisode, LinkFaultEpisode)):
+            width = episode.end - episode.start
+            if width > 2 * self.min_window:
+                out.append(replace(episode, end=episode.start + width / 2))
+        elif isinstance(episode, DiskFaultEpisode):
+            if episode.repair_at is not None:
+                width = episode.repair_at - episode.at
+                if width > 2 * self.min_window:
+                    out.append(
+                        replace(episode, repair_at=episode.at + width / 2)
+                    )
+        return out
+
+
+# ----------------------------------------------------------------------
+# CLI
+
+
+_SCENARIOS: dict = {
+    "bank": BankClearingScenario,
+    "cart": CartDynamoScenario,
+}
+
+
+def _build_scenario(name: str, policy: Optional[str]) -> Any:
+    if name not in _SCENARIOS:
+        raise SimulationError(f"unknown scenario {name!r} (have {sorted(_SCENARIOS)})")
+    kwargs = {"policy": policy} if policy else {}
+    return _SCENARIOS[name](**kwargs)
+
+
+def _print_failure(case: FailingCase) -> None:
+    print(f"  seed {case.seed}: {case.violation.invariant} — {case.violation.detail}")
+    print(f"    shrunk {len(case.plan)} -> {len(case.minimal_plan)} episodes "
+          f"({case.shrink_evals} evals), replay "
+          f"{'bit-identical' if case.replay_matches else 'MISMATCH'}")
+    for line in case.minimal_plan.describe().splitlines():
+        print(f"      {line}")
+    print("    plan json: " + json.dumps(case.minimal_plan.to_dict()))
+
+
+def _sweep(scenario: Any, seeds: Sequence[int]) -> SweepResult:
+    runner = ChaosRunner(scenario)
+    result = runner.sweep(seeds)
+    print(f"[{scenario.name}] policy={getattr(scenario, 'policy', '?')} "
+          f"runs={result.runs} failing={len(result.failures)} "
+          f"violation_rate={result.violation_rate:.2f}")
+    for case in result.failures:
+        _print_failure(case)
+    return result
+
+
+def smoke(seeds: Sequence[int]) -> int:
+    """The CI gate: correct policies stay clean; a broken policy is
+    found, shrunk, and replays exactly."""
+    failed = False
+
+    clean = _sweep(BankClearingScenario(policy="correct"), seeds)
+    if clean.failures:
+        print("FAIL: correct bank policy violated an invariant")
+        failed = True
+
+    cart = _sweep(CartDynamoScenario(policy="correct"), seeds)
+    if cart.failures:
+        print("FAIL: correct cart policy violated an invariant")
+        failed = True
+
+    broken_scenario = BankClearingScenario(policy="amnesiac-restart")
+    broken = ChaosRunner(
+        broken_scenario, spec=broken_scenario.spec(min_crashes=1)
+    ).sweep(seeds)
+    print(f"[{broken_scenario.name}] policy=amnesiac-restart "
+          f"runs={broken.runs} failing={len(broken.failures)} "
+          f"violation_rate={broken.violation_rate:.2f}")
+    for case in broken.failures:
+        _print_failure(case)
+    if not broken.failures:
+        print("FAIL: amnesiac-restart policy was not caught")
+        failed = True
+    if any(not case.replay_matches for case in broken.failures):
+        print("FAIL: a minimal plan did not replay bit-for-bit")
+        failed = True
+
+    print("chaos smoke: " + ("FAIL" if failed else "ok"))
+    return 1 if failed else 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.chaos.runner",
+        description="Seeded chaos sweeps with invariant checking and shrinking.",
+    )
+    parser.add_argument("--smoke", action="store_true",
+                        help="run the CI smoke sweep (correct + broken policies)")
+    parser.add_argument("--scenario", default="bank", choices=sorted(_SCENARIOS))
+    parser.add_argument("--policy", default=None,
+                        help="scenario policy (e.g. correct, amnesiac-restart, lww)")
+    parser.add_argument("--seeds", type=int, default=5,
+                        help="number of seeds to sweep (0..N-1)")
+    args = parser.parse_args(argv)
+
+    seeds = list(range(args.seeds))
+    if args.smoke:
+        return smoke(seeds)
+
+    result = _sweep(_build_scenario(args.scenario, args.policy), seeds)
+    return 1 if result.failures else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    sys.exit(main())

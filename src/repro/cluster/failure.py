@@ -2,10 +2,10 @@
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
-from repro.cluster.node import Node
 from repro.errors import SimulationError
 from repro.sim.scheduler import Simulator
 
@@ -24,20 +24,47 @@ class CrashPlan:
             raise SimulationError(f"restart {self.back_at} not after crash {self.at}")
 
 
-class FailureInjector:
-    """Applies crash plans or a random crash/restart process to nodes."""
+def _accepts_cause(crash_fn: Any) -> bool:
+    """Does a crash callable take a cause argument?"""
+    try:
+        inspect.signature(crash_fn).bind("cause")
+    except TypeError:
+        return False
+    return True
 
-    def __init__(self, sim: Simulator, nodes: Dict[str, Node]) -> None:
+
+class FailureInjector:
+    """Applies crash plans or a random crash/restart process to targets.
+
+    A target is anything with ``crash()``/``restart()`` — a cluster
+    :class:`~repro.cluster.node.Node`, a gossip or Dynamo node, or a
+    chaos-scenario adapter. ``crash`` is passed a cause string when its
+    signature accepts one.
+    """
+
+    def __init__(self, sim: Simulator, nodes: Dict[str, Any]) -> None:
         self.sim = sim
         self.nodes = dict(nodes)
 
     def install(self, plans: List[CrashPlan]) -> None:
         """Schedule deterministic outages."""
         for plan in plans:
-            node = self._node(plan.node)
-            self.sim.schedule_at(plan.at, node.crash, "injected")
+            self._node(plan.node)  # validate eagerly
+            self.sim.schedule_at(plan.at, self.crash, plan.node, "injected")
             if plan.back_at is not None:
-                self.sim.schedule_at(plan.back_at, node.restart)
+                self.sim.schedule_at(plan.back_at, self.restart, plan.node)
+
+    def crash(self, name: str, cause: str = "injected") -> None:
+        """Crash one target now."""
+        target = self._node(name)
+        if _accepts_cause(target.crash):
+            target.crash(cause)
+        else:
+            target.crash()
+
+    def restart(self, name: str) -> None:
+        """Restart one target now."""
+        self._node(name).restart()
 
     def install_random(
         self,
@@ -53,23 +80,23 @@ class FailureInjector:
         """
         if mttf <= 0 or mttr <= 0:
             raise SimulationError("mttf and mttr must be positive")
-        node = self._node(node_name)
+        self._node(node_name)
         rng = self.sim.rng.stream(stream or f"failures:{node_name}")
 
         def schedule_crash() -> None:
             self.sim.schedule(rng.expovariate(1.0 / mttf), do_crash)
 
         def do_crash() -> None:
-            node.crash("random")
+            self.crash(node_name, "random")
             self.sim.schedule(rng.expovariate(1.0 / mttr), do_restart)
 
         def do_restart() -> None:
-            node.restart()
+            self.restart(node_name)
             schedule_crash()
 
         schedule_crash()
 
-    def _node(self, name: str) -> Node:
+    def _node(self, name: str) -> Any:
         if name not in self.nodes:
             raise SimulationError(f"unknown node {name!r}")
         return self.nodes[name]

@@ -255,6 +255,13 @@ class DynamoClient:
         self.name = name
         self.endpoint = Endpoint(cluster.network, name)
         self.endpoint.start()
+        # Per-key high-water mark of this client's own clock component. A
+        # stale GET (sloppy quorum during a partition) can hand back a
+        # context that predates our own last write; naively incrementing
+        # it would mint a clock we already used — and two values under
+        # one clock collapse arbitrarily at the store. A client always
+        # knows how often it wrote, so it never reuses a counter.
+        self._write_seq: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
 
@@ -314,7 +321,10 @@ class DynamoClient:
         """Write with a context clock (from the preceding GET); returns the
         new version's clock. Needs W stores; with hinted handoff enabled,
         fallback nodes count toward W."""
-        clock = (context or VectorClock()).increment(self.name)
+        base = context or VectorClock()
+        seq = max(self._write_seq.get(key, 0), base.counters.get(self.name, 0)) + 1
+        self._write_seq[key] = seq
+        clock = VectorClock({**base.counters, self.name: seq})
         intended = self.cluster.ring.intended_owners(key, self.cluster.n)
         if self.cluster.hinted_handoff:
             targets = self.cluster.ring.preference_list(

@@ -127,14 +127,16 @@ class GossipNode:
             self._loop_proc.interrupt("stopped")
         self.endpoint.stop("stopped")
 
-    def crash(self) -> None:
+    def crash(self, cause: str = "crash") -> None:
         """Fail fast: the replica object survives (its op set models the
         durable log); the serving endpoint and loop die."""
         if self._loop_proc is not None:
-            self._loop_proc.interrupt("crash")
-        self.endpoint.stop("crash")
+            self._loop_proc.interrupt(cause)
+        self.endpoint.stop(cause)
+        self.sim.trace.emit(self.replica.name, "gossip.crash", cause=str(cause))
 
     def restart(self, until: Optional[float] = None) -> None:
         self.endpoint.restart()
+        self.sim.trace.emit(self.replica.name, "gossip.restart")
         if until is not None:
             self.run(until)

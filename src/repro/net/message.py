@@ -6,7 +6,19 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
+from repro.sim.scheduler import register_fresh_run_hook
+
 _msg_ids = itertools.count(1)
+
+
+def _reset_msg_ids() -> None:
+    # Restart numbering per simulator run so traces that mention messages
+    # replay bit-for-bit; ids only need to be unique within one run.
+    global _msg_ids
+    _msg_ids = itertools.count(1)
+
+
+register_fresh_run_hook(_reset_msg_ids)
 
 
 @dataclass

@@ -44,6 +44,36 @@ class LinkConfig:
             )
 
 
+@dataclass
+class NetFault:
+    """A transient fault overlay applied on top of the link configs.
+
+    Injected/cleared at runtime (the chaos layer schedules the window);
+    ``src``/``dst`` of None match every endpoint. Sampling happens after
+    the link's own loss/duplication, from the same ``net`` stream, so a
+    run replays bit-for-bit under its seed.
+    """
+
+    loss_probability: float = 0.0
+    duplicate_probability: float = 0.0
+    extra_delay: float = 0.0
+    src: Optional[str] = None
+    dst: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss_probability <= 1.0:
+            raise SimulationError(f"bad fault loss {self.loss_probability}")
+        if not 0.0 <= self.duplicate_probability <= 1.0:
+            raise SimulationError(f"bad fault duplicate {self.duplicate_probability}")
+        if self.extra_delay < 0:
+            raise SimulationError(f"negative fault delay {self.extra_delay}")
+
+    def applies_to(self, src: str, dst: str) -> bool:
+        return (self.src is None or self.src == src) and (
+            self.dst is None or self.dst == dst
+        )
+
+
 class Network:
     """Message fabric connecting named endpoints on one simulator."""
 
@@ -54,6 +84,7 @@ class Network:
         self._links: Dict[Tuple[str, str], LinkConfig] = {}
         self._detached: Set[str] = set()
         self._groups: Optional[List[Set[str]]] = None
+        self._faults: List[NetFault] = []
         self._rng = sim.rng.stream("net")
 
     # ------------------------------------------------------------------
@@ -110,6 +141,33 @@ class Network:
     def partitioned(self) -> bool:
         return self._groups is not None
 
+    # ------------------------------------------------------------------
+    # Fault overlay
+
+    def inject_fault(self, fault: NetFault) -> NetFault:
+        """Activate a fault overlay; returns it as the clearing token."""
+        self._faults.append(fault)
+        self.sim.trace.emit(
+            "net", "fault.inject",
+            loss=fault.loss_probability, duplicate=fault.duplicate_probability,
+            extra_delay=fault.extra_delay, src=fault.src, dst=fault.dst,
+        )
+        return fault
+
+    def clear_fault(self, fault: NetFault) -> None:
+        """Deactivate a previously injected fault (no-op if already gone)."""
+        if fault in self._faults:
+            self._faults.remove(fault)
+            self.sim.trace.emit("net", "fault.clear", src=fault.src, dst=fault.dst)
+
+    def clear_all_faults(self) -> None:
+        while self._faults:
+            self.clear_fault(self._faults[-1])
+
+    @property
+    def active_faults(self) -> Tuple[NetFault, ...]:
+        return tuple(self._faults)
+
     def reachable(self, src: str, dst: str) -> bool:
         """Can a message travel src -> dst right now?"""
         if src in self._detached or dst in self._detached:
@@ -150,8 +208,24 @@ class Network:
         ):
             copies = 2
             self.sim.metrics.inc("net.duplicated")
+        extra_delay = 0.0
+        for fault in self._faults:
+            if not fault.applies_to(msg.src, msg.dst):
+                continue
+            if fault.loss_probability and self._rng.random() < fault.loss_probability:
+                self.sim.trace.emit("net", "drop.fault", msg=str(msg))
+                self.sim.metrics.inc("net.dropped")
+                self.sim.metrics.inc("net.fault_dropped")
+                return False
+            if (
+                fault.duplicate_probability
+                and self._rng.random() < fault.duplicate_probability
+            ):
+                copies += 1
+                self.sim.metrics.inc("net.duplicated")
+            extra_delay += fault.extra_delay
         for _ in range(copies):
-            delay = config.latency.sample(self._rng)
+            delay = config.latency.sample(self._rng) + extra_delay
             self.sim.schedule(delay, self._deliver, msg)
         self.sim.metrics.inc("net.sent")
         return True

@@ -47,13 +47,17 @@ class PartitionSchedule:
         sim = self.network.sim
         for window in self.windows:
             sim.schedule_at(window.start, self._cut, window)
-            sim.schedule_at(window.end, self.network.heal)
+            sim.schedule_at(window.end, self._heal)
 
     def _cut(self, window: PartitionWindow) -> None:
         self.network.partition(window.groups)
         self.network.sim.trace.emit(
             "net", "partition.cut", groups=[sorted(g) for g in window.groups]
         )
+
+    def _heal(self) -> None:
+        self.network.heal()
+        self.network.sim.trace.emit("net", "partition.heal")
 
 
 def periodic_partitions(

@@ -26,13 +26,22 @@ from repro.errors import CrashedError, SimulationError, TimeoutError_
 from repro.net.message import Message
 from repro.net.network import Network
 from repro.sim.events import AnyOf, Event
+from repro.sim.scheduler import register_fresh_run_hook
 
 _uniq_counter = itertools.count(1)
 
 
 def fresh_uniquifier(prefix: str = "req") -> str:
-    """A process-wide unique request id (the check number)."""
+    """A request id unique within the current simulator run."""
     return f"{prefix}-{next(_uniq_counter)}"
+
+
+def _reset_uniq_counter() -> None:
+    global _uniq_counter
+    _uniq_counter = itertools.count(1)
+
+
+register_fresh_run_hook(_reset_uniq_counter)
 
 
 def content_uniquifier(kind: str, payload: Dict[str, Any]) -> str:

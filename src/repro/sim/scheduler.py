@@ -21,6 +21,17 @@ from repro.sim.trace import TraceLog
 
 _HeapItem = Tuple[float, int, Callable[..., None], tuple]
 
+#: Callbacks run whenever a fresh Simulator is constructed. Modules with
+#: process-global counters (message ids, request uniquifiers) register a
+#: reset here so that two runs of the same seeded model in one process
+#: produce bit-identical traces — the foundation of chaos-plan replay.
+_fresh_run_hooks: List[Callable[[], None]] = []
+
+
+def register_fresh_run_hook(hook: Callable[[], None]) -> None:
+    """Run ``hook()`` at every :class:`Simulator` construction."""
+    _fresh_run_hooks.append(hook)
+
 
 class Simulator:
     """Discrete-event simulator: clock, event heap, RNG, metrics, trace.
@@ -34,6 +45,8 @@ class Simulator:
     """
 
     def __init__(self, seed: int = 0, trace_capacity: Optional[int] = 10000) -> None:
+        for hook in _fresh_run_hooks:
+            hook()
         self.now: float = 0.0
         self.seed = seed
         self.rng = RngRegistry(seed)

@@ -31,12 +31,21 @@ class TraceLog:
     def __init__(self, sim: Any, capacity: Optional[int] = 10000) -> None:
         self._sim = sim
         self.enabled = True
+        self.capacity = capacity
+        self.dropped = 0
         self.records: Deque[TraceRecord] = deque(maxlen=capacity)
 
     def emit(self, actor: str, kind: str, **payload: Any) -> None:
-        """Append a record at the current simulated time."""
+        """Append a record at the current simulated time.
+
+        When the capacity bound evicts an old record, ``dropped`` counts
+        it — assertions over the trace can check the evidence is complete
+        instead of passing vacuously on a truncated log.
+        """
         if not self.enabled:
             return
+        if self.capacity is not None and len(self.records) >= self.capacity:
+            self.dropped += 1
         self.records.append(TraceRecord(self._sim.now, actor, kind, payload))
 
     def find(
@@ -68,3 +77,10 @@ class TraceLog:
 
     def clear(self) -> None:
         self.records.clear()
+        self.dropped = 0
+
+    def tail(self, count: int) -> List[TraceRecord]:
+        """The last ``count`` records (debug context for violations)."""
+        if count <= 0:
+            return []
+        return list(self.records)[-count:]

@@ -37,6 +37,7 @@ class Disk:
         self.service_time = service_time
         self.per_item_time = per_item_time
         self.failed = False
+        self.slow_factor = 1.0
         self._arm = Resource(sim, capacity=1, name=f"{name}.arm")
         self._blocks: Dict[Any, Any] = {}
 
@@ -46,9 +47,23 @@ class Disk:
         """Media failure: the disk stops serving (durable content kept for
         post-mortem inspection/repair, as with a pulled drive)."""
         self.failed = True
+        self.sim.trace.emit(self.name, "disk.fail")
 
     def repair(self) -> None:
         self.failed = False
+        self.sim.trace.emit(self.name, "disk.repair")
+
+    def set_slowdown(self, factor: float) -> None:
+        """Degrade service: every request costs ``factor``× its normal
+        time (a sick-but-alive drive, the gray failure chaos plans need)."""
+        if factor < 1.0:
+            raise SimulationError(f"slowdown factor {factor} below 1.0")
+        self.slow_factor = factor
+        self.sim.trace.emit(self.name, "disk.slowdown", factor=factor)
+
+    def clear_slowdown(self) -> None:
+        self.slow_factor = 1.0
+        self.sim.trace.emit(self.name, "disk.slowdown.clear")
 
     def write(self, key: Any, value: Any) -> Generator[Any, Any, None]:
         """Durable write of one block. ``yield from`` this."""
@@ -92,7 +107,9 @@ class Disk:
         try:
             if self.failed:  # failed while queued
                 raise CrashedError(f"disk {self.name!r} has failed")
-            yield Timeout(self.service_time + self.per_item_time * items)
+            yield Timeout(
+                (self.service_time + self.per_item_time * items) * self.slow_factor
+            )
         finally:
             self._arm.release()
 

@@ -1,0 +1,154 @@
+"""ChaosPlan and ChaosSpec: validation, views, persistence, sampling."""
+
+import pytest
+
+from repro.chaos.plan import (
+    ChaosPlan,
+    ChaosSpec,
+    CrashEpisode,
+    DiskFaultEpisode,
+    LinkFaultEpisode,
+    PartitionEpisode,
+)
+from repro.errors import SimulationError
+
+
+def sample_plan():
+    return ChaosPlan((
+        CrashEpisode("n1", 2.0, 5.0),
+        PartitionEpisode(3.0, 6.0, (("n1",), ("n2", "n3"))),
+        LinkFaultEpisode(1.0, 4.0, loss=0.2),
+        DiskFaultEpisode("d0", 2.5, 7.0, slow_factor=3.0),
+    ))
+
+
+# ----------------------------------------------------------------------
+# Episode validation
+
+
+def test_crash_restart_must_follow_crash():
+    with pytest.raises(SimulationError):
+        CrashEpisode("n1", 5.0, back_at=5.0)
+
+
+def test_partition_window_must_be_nonempty():
+    with pytest.raises(SimulationError):
+        PartitionEpisode(4.0, 4.0, (("a",), ("b",)))
+
+
+def test_partition_needs_groups():
+    with pytest.raises(SimulationError):
+        PartitionEpisode(1.0, 2.0, ())
+
+
+def test_link_fault_must_do_something():
+    with pytest.raises(SimulationError):
+        LinkFaultEpisode(0.0, 1.0)
+
+
+def test_link_fault_probability_bounds():
+    with pytest.raises(SimulationError):
+        LinkFaultEpisode(0.0, 1.0, loss=1.5)
+
+
+def test_disk_slow_factor_below_one_rejected():
+    with pytest.raises(SimulationError):
+        DiskFaultEpisode("d0", 1.0, slow_factor=0.5)
+
+
+# ----------------------------------------------------------------------
+# Plan-level behaviour
+
+
+def test_plan_rejects_overlapping_partitions():
+    with pytest.raises(SimulationError):
+        ChaosPlan((
+            PartitionEpisode(1.0, 5.0, (("a",), ("b",))),
+            PartitionEpisode(4.0, 8.0, (("a",), ("b",))),
+        ))
+
+
+def test_plan_allows_boundary_sharing_partitions():
+    plan = ChaosPlan((
+        PartitionEpisode(1.0, 5.0, (("a",), ("b",))),
+        PartitionEpisode(5.0, 8.0, (("a", "b"), ("c",))),
+    ))
+    assert len(plan.partitions) == 2
+
+
+def test_plan_views_split_by_kind():
+    plan = sample_plan()
+    assert len(plan.crashes) == 1
+    assert len(plan.partitions) == 1
+    assert len(plan.link_faults) == 1
+    assert len(plan.disk_faults) == 1
+    assert len(plan) == 4
+
+
+def test_plan_horizon_is_latest_end():
+    assert sample_plan().horizon == 7.0
+    assert ChaosPlan().horizon == 0.0
+
+
+def test_without_and_replace_episode():
+    plan = sample_plan()
+    smaller = plan.without(0)
+    assert len(smaller) == 3 and not smaller.crashes
+    narrowed = plan.replace_episode(1, PartitionEpisode(3.0, 4.0, (("n1",), ("n2",))))
+    assert narrowed.partitions[0].end == 4.0
+    # the original is untouched (plans are immutable values)
+    assert plan.partitions[0].end == 6.0
+
+
+def test_describe_mentions_every_episode():
+    text = sample_plan().describe()
+    assert "crash" in text and "partition" in text
+    assert "link fault" in text and "disk" in text
+    assert ChaosPlan().describe() == "(empty plan)"
+
+
+def test_dict_roundtrip_preserves_plan():
+    plan = sample_plan()
+    assert ChaosPlan.from_dict(plan.to_dict()) == plan
+
+
+def test_dict_roundtrip_empty_and_stays_down():
+    plan = ChaosPlan((CrashEpisode("n1", 2.0),))
+    data = plan.to_dict()
+    assert "back_at" not in data["episodes"][0]
+    assert ChaosPlan.from_dict(data) == plan
+
+
+def test_from_dict_rejects_unknown_kind():
+    with pytest.raises(SimulationError):
+        ChaosPlan.from_dict({"episodes": [{"kind": "meteor"}]})
+
+
+# ----------------------------------------------------------------------
+# Seeded sampling
+
+
+def test_sample_is_pure_function_of_seed():
+    spec = ChaosSpec(nodes=("a", "b", "c"), horizon=20.0)
+    assert spec.sample(7) == spec.sample(7)
+    assert any(spec.sample(i) != spec.sample(i + 100) for i in range(5))
+
+
+def test_sample_respects_crash_bounds_and_horizon():
+    spec = ChaosSpec(nodes=("a", "b", "c"), horizon=20.0,
+                     min_crashes=1, max_crashes=2)
+    for seed in range(20):
+        plan = spec.sample(seed)
+        assert 1 <= len(plan.crashes) <= 2
+        assert plan.horizon <= 0.9 * spec.horizon + 1e-9
+        for episode in plan.crashes:
+            assert episode.node in spec.nodes
+
+
+def test_spec_validates_bounds():
+    with pytest.raises(SimulationError):
+        ChaosSpec(nodes=())
+    with pytest.raises(SimulationError):
+        ChaosSpec(nodes=("a",), min_crashes=3, max_crashes=1)
+    with pytest.raises(SimulationError):
+        ChaosSpec(nodes=("a",), horizon=-1.0)

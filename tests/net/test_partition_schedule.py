@@ -63,3 +63,73 @@ def test_periodic_duration_must_fit_period():
     net = Network(sim)
     with pytest.raises(SimulationError):
         periodic_partitions(net, [["a"]], period=5.0, duration=5.0, count=1)
+
+
+def test_back_to_back_windows_sharing_a_boundary():
+    """end == start is not an overlap: the first heal and the second cut
+    both land at t=10, and the second partition must win."""
+    sim = Simulator()
+    net = Network(sim)
+    for name in ("a", "b", "c"):
+        net.attach(name)
+    schedule = PartitionSchedule(net, [
+        PartitionWindow(5.0, 10.0, [["a"], ["b", "c"]]),
+        PartitionWindow(10.0, 15.0, [["a", "b"], ["c"]]),
+    ])
+    schedule.install()
+    sim.run(until=7.0)
+    assert not net.reachable("a", "b")
+    assert net.reachable("b", "c")
+    sim.run(until=12.0)  # past the shared boundary
+    assert net.reachable("a", "b")
+    assert not net.reachable("b", "c")
+    sim.run(until=16.0)
+    assert net.reachable("b", "c")
+    assert not net.partitioned
+
+
+def test_single_node_group_isolates_that_node():
+    sim = Simulator()
+    net = Network(sim)
+    for name in ("a", "b", "c"):
+        net.attach(name)
+    schedule = PartitionSchedule(net, [PartitionWindow(1.0, 5.0, [["a"]])])
+    schedule.install()
+    sim.run(until=2.0)
+    assert not net.reachable("a", "b")
+    assert not net.reachable("a", "c")
+    # the unlisted endpoints share the implicit remainder group
+    assert net.reachable("b", "c")
+    assert net.reachable("a", "a")
+    sim.run(until=6.0)
+    assert net.reachable("a", "b")
+
+
+def test_touching_overlap_rejected_exactly_at_interior_point():
+    sim = Simulator()
+    net = Network(sim)
+    with pytest.raises(SimulationError):
+        PartitionSchedule(net, [
+            PartitionWindow(0.0, 10.0, [["a"]]),
+            PartitionWindow(9.999, 20.0, [["a"]]),
+        ])
+
+
+def test_unsorted_windows_are_validated_in_time_order():
+    sim = Simulator()
+    net = Network(sim)
+    with pytest.raises(SimulationError):
+        PartitionSchedule(net, [
+            PartitionWindow(10.0, 20.0, [["a"]]),
+            PartitionWindow(0.0, 15.0, [["a"]]),
+        ])
+
+
+def test_heal_is_traced():
+    sim = Simulator()
+    net = Network(sim)
+    net.attach("a")
+    net.attach("b")
+    PartitionSchedule(net, [PartitionWindow(1.0, 2.0, [["a"], ["b"]])]).install()
+    sim.run(until=3.0)
+    assert sim.trace.count(kind="partition.heal") == 1

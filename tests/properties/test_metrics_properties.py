@@ -1,0 +1,144 @@
+"""Property tests for the measurement primitives.
+
+Histogram.percentile is checked against the standard library's
+``statistics.quantiles`` (the linear-interpolation "inclusive" method is
+the same estimator), and TimeSeries.time_weighted_mean against a
+brute-force integral of the step function.
+"""
+
+import math
+import statistics
+
+from hypothesis import given, strategies as st
+
+from repro.sim.metrics import Histogram, TimeSeries
+
+finite_floats = st.floats(
+    min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+
+
+# ----------------------------------------------------------------------
+# Histogram.percentile
+
+
+@given(st.lists(finite_floats, min_size=2, max_size=200))
+def test_quartiles_match_statistics_quantiles(values):
+    histogram = Histogram("h")
+    for value in values:
+        histogram.observe(value)
+    q1, median, q3 = statistics.quantiles(values, n=4, method="inclusive")
+    assert math.isclose(histogram.percentile(25), q1, rel_tol=1e-9, abs_tol=1e-6)
+    assert math.isclose(histogram.percentile(50), median, rel_tol=1e-9, abs_tol=1e-6)
+    assert math.isclose(histogram.percentile(75), q3, rel_tol=1e-9, abs_tol=1e-6)
+
+
+@given(st.lists(finite_floats, min_size=2, max_size=100))
+def test_percentile_grid_matches_statistics_quantiles(values):
+    histogram = Histogram("h")
+    for value in values:
+        histogram.observe(value)
+    # quantiles(n=100, inclusive) gives the 1..99th percentiles.
+    expected = statistics.quantiles(values, n=100, method="inclusive")
+    for q, want in zip(range(1, 100), expected):
+        assert math.isclose(
+            histogram.percentile(q), want, rel_tol=1e-9, abs_tol=1e-6
+        )
+
+
+@given(st.lists(finite_floats, min_size=1, max_size=100),
+       st.floats(min_value=0.0, max_value=100.0))
+def test_percentile_is_bounded_and_monotone(values, q):
+    histogram = Histogram("h")
+    for value in values:
+        histogram.observe(value)
+    result = histogram.percentile(q)
+    assert min(values) <= result <= max(values)
+    assert histogram.percentile(0) == min(values)
+    assert histogram.percentile(100) == max(values)
+    if q <= 50:
+        assert result <= histogram.percentile(50) or math.isclose(
+            result, histogram.percentile(50)
+        )
+
+
+def test_percentile_empty_is_nan():
+    assert math.isnan(Histogram("h").percentile(50))
+
+
+# ----------------------------------------------------------------------
+# TimeSeries.time_weighted_mean
+
+
+def brute_force_step_mean(samples, end_time, steps=20000):
+    """Evaluate the step function on a fine grid and average it."""
+    start = samples[0][0]
+    if end_time <= start:
+        return samples[0][1]
+    total = 0.0
+    for i in range(steps):
+        t = start + (end_time - start) * (i + 0.5) / steps
+        value = samples[0][1]
+        for time, sample_value in samples:
+            if time <= t:
+                value = sample_value
+            else:
+                break
+        total += value
+    return total / steps
+
+
+@st.composite
+def sample_paths(draw):
+    times = sorted(draw(st.lists(
+        st.floats(min_value=0.0, max_value=100.0,
+                  allow_nan=False, allow_infinity=False),
+        min_size=2, max_size=20, unique=True,
+    )))
+    values = draw(st.lists(
+        st.floats(min_value=-100.0, max_value=100.0,
+                  allow_nan=False, allow_infinity=False),
+        min_size=len(times), max_size=len(times),
+    ))
+    tail = draw(st.floats(min_value=0.0, max_value=50.0,
+                          allow_nan=False, allow_infinity=False))
+    return list(zip(times, values)), times[-1] + tail
+
+
+@given(sample_paths())
+def test_time_weighted_mean_matches_step_integral(path):
+    samples, end_time = path
+    series = TimeSeries("s")
+    for time, value in samples:
+        series.record(time, value)
+    got = series.time_weighted_mean(end_time)
+    want = brute_force_step_mean(samples, end_time)
+    # the grid estimate carries O(1/steps) error on each step edge
+    scale = max(1.0, max(abs(v) for _t, v in samples))
+    assert math.isclose(got, want, rel_tol=0.05, abs_tol=0.05 * scale)
+
+
+@given(sample_paths(), st.floats(min_value=-50.0, max_value=50.0,
+                                 allow_nan=False, allow_infinity=False))
+def test_constant_series_mean_is_the_constant(path, constant):
+    samples, end_time = path
+    series = TimeSeries("s")
+    for time, _value in samples:
+        series.record(time, constant)
+    assert math.isclose(series.time_weighted_mean(end_time), constant,
+                        rel_tol=1e-9, abs_tol=1e-9)
+
+
+@given(sample_paths())
+def test_mean_lies_within_value_range(path):
+    samples, end_time = path
+    series = TimeSeries("s")
+    for time, value in samples:
+        series.record(time, value)
+    values = [value for _time, value in samples]
+    mean = series.time_weighted_mean(end_time)
+    assert min(values) - 1e-9 <= mean <= max(values) + 1e-9
+
+
+def test_time_weighted_mean_empty_is_nan():
+    assert math.isnan(TimeSeries("s").time_weighted_mean())

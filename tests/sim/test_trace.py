@@ -45,3 +45,50 @@ def test_clear():
     sim.trace.emit("a", "x")
     sim.trace.clear()
     assert sim.trace.count() == 0
+
+
+def test_eviction_is_counted_not_silent():
+    sim = Simulator(trace_capacity=3)
+    for i in range(10):
+        sim.trace.emit("a", "tick", i=i)
+    assert sim.trace.dropped == 7
+    assert sim.trace.count() == 3
+
+
+def test_dropped_stays_zero_within_capacity():
+    sim = Simulator(trace_capacity=5)
+    for i in range(5):
+        sim.trace.emit("a", "tick", i=i)
+    assert sim.trace.dropped == 0
+
+    unbounded = Simulator(trace_capacity=None)
+    for i in range(100):
+        unbounded.trace.emit("a", "tick", i=i)
+    assert unbounded.trace.dropped == 0
+
+
+def test_disabled_emits_do_not_count_as_dropped():
+    sim = Simulator(trace_capacity=2)
+    sim.trace.enabled = False
+    for i in range(10):
+        sim.trace.emit("a", "tick", i=i)
+    assert sim.trace.dropped == 0
+
+
+def test_clear_resets_dropped():
+    sim = Simulator(trace_capacity=2)
+    for i in range(5):
+        sim.trace.emit("a", "tick", i=i)
+    assert sim.trace.dropped == 3
+    sim.trace.clear()
+    assert sim.trace.dropped == 0
+    assert sim.trace.count() == 0
+
+
+def test_tail_returns_most_recent_records():
+    sim = Simulator()
+    for i in range(5):
+        sim.trace.emit("a", "tick", i=i)
+    assert [r.payload["i"] for r in sim.trace.tail(2)] == [3, 4]
+    assert len(sim.trace.tail(100)) == 5
+    assert sim.trace.tail(0) == []
