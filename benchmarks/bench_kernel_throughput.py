@@ -1,0 +1,41 @@
+"""Kernel throughput — the substrate every experiment stands on.
+
+Not a paper claim: this bench surfaces the `repro.perf` workload suite
+(see BENCH_sim.json) inside the experiment run, so a kernel slowdown
+shows up in the same place the science does. The authoritative tracked
+artifact is still `python -m repro.perf`; this table is the quick look.
+"""
+
+from repro.analysis import Table
+from repro.perf.harness import run_workload
+from repro.perf.workloads import WORKLOADS
+
+
+def test_kernel_throughput(benchmark, show):
+    names = sorted(WORKLOADS)
+    results = benchmark.pedantic(
+        lambda: [run_workload(name, quick=True) for name in names],
+        rounds=1, iterations=1,
+    )
+    table = Table(
+        "Kernel  perf-harness workloads (quick mode)",
+        ["workload", "events", "events/sec", "peak heap KiB"],
+    )
+    for result in results:
+        table.add_row(
+            result.name,
+            result.events,
+            round(result.events_per_sec),
+            round(result.peak_heap_bytes / 1024, 1),
+        )
+    show(table)
+
+    by_name = {result.name: result for result in results}
+    # The fast-lane kernel clears 1M ev/s on scheduler churn on any
+    # recent hardware; a fall to the old ~800k would mean the lane or the
+    # batched drain stopped being exercised.
+    assert by_name["sched_churn"].events_per_sec > 400_000
+    # Determinism: calibrated workloads always execute the same work
+    # (this exact count is also what BENCH_sim.json records).
+    assert by_name["sched_churn"].events == 150_072
+    assert all(result.events > 0 for result in results)

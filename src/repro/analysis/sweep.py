@@ -8,9 +8,10 @@ captures that skeleton so new experiments are a function plus a spec.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import SimulationError
+from repro.parallel import parallel_map
 
 
 @dataclass(frozen=True)
@@ -22,24 +23,44 @@ class SweepPoint:
     runs: int
 
 
+@dataclass(frozen=True)
+class _Cell:
+    """Picklable unit of sweep work: one (parameter, seed) run."""
+
+    run: Callable[[Any, int], Dict[str, float]]
+
+    def __call__(self, cell: Tuple[Any, int]) -> Dict[str, float]:
+        value, seed = cell
+        return self.run(value, seed)
+
+
 def sweep(
     parameter_values: Sequence[Any],
     run: Callable[[Any, int], Dict[str, float]],
     seeds: Sequence[int] = (0, 1, 2),
+    processes: Optional[int] = 1,
 ) -> List[SweepPoint]:
     """For each parameter value, call ``run(value, seed)`` per seed and
     average every numeric key of the returned dicts.
 
     All runs of one parameter must return the same keys; boolean values
     average as 0/1 rates.
+
+    ``processes`` distributes the (parameter, seed) grid over worker
+    processes (see :func:`repro.parallel.parallel_map`; ``run`` must then
+    be picklable — a module-level function). 1 is serial, None auto-sizes
+    to the CPU count; results are identical at any worker count because
+    each run is independently seeded.
     """
     if not parameter_values:
         raise SimulationError("sweep needs at least one parameter value")
     if not seeds:
         raise SimulationError("sweep needs at least one seed")
+    grid = [(value, seed) for value in parameter_values for seed in seeds]
+    flat = parallel_map(_Cell(run), grid, processes)
     points = []
-    for value in parameter_values:
-        samples = [run(value, seed) for seed in seeds]
+    for index, value in enumerate(parameter_values):
+        samples = flat[index * len(seeds):(index + 1) * len(seeds)]
         keys = set(samples[0])
         for sample in samples[1:]:
             if set(sample) != keys:

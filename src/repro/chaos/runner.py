@@ -37,6 +37,7 @@ from repro.chaos.scenarios import (
     ChaosReport,
 )
 from repro.errors import SimulationError
+from repro.parallel import parallel_map
 from repro.sim.metrics import MetricsRegistry
 
 
@@ -74,6 +75,24 @@ class SweepResult:
         return len(self.failures) / len(self.reports) if self.reports else 0.0
 
 
+@dataclass(frozen=True)
+class _SeedRun:
+    """Picklable unit of sweep work: run one seed of a scenario.
+
+    Carries the scenario plus the runner's plan/spec so a worker process
+    samples exactly the plan the parent would have (``plan`` pins a fixed
+    schedule; otherwise the spec samples one from the seed).
+    """
+
+    scenario: Any
+    plan: Optional[ChaosPlan]
+    spec: Optional[ChaosSpec]
+
+    def __call__(self, seed: int) -> ChaosReport:
+        plan = self.plan if self.plan is not None else self.spec.sample(seed)
+        return self.scenario.run(seed, plan)
+
+
 class ChaosRunner:
     """Sweeps seeds over a scenario; shrinks and verifies failures."""
 
@@ -102,20 +121,42 @@ class ChaosRunner:
 
     def run_seed(self, seed: int) -> ChaosReport:
         report = self.scenario.run(seed, self.plan_for(seed))
+        self._account(report)
+        return report
+
+    def _account(self, report: ChaosReport) -> None:
+        """Fold one report into the runner's metrics. Kept separate from
+        the run so parallel sweeps can run remotely and account locally —
+        the aggregate is identical either way."""
         self.metrics.inc("chaos.runs")
         self.metrics.observe("chaos.violations_per_run", len(report.violations))
         if report.failed:
             self.metrics.inc("chaos.failing_runs")
             for violation in report.violations:
                 self.metrics.inc(f"chaos.violation.{violation.invariant}")
-        return report
 
-    def sweep(self, seeds: Iterable[int], shrink: bool = True) -> SweepResult:
-        reports: List[ChaosReport] = []
+    def sweep(
+        self,
+        seeds: Iterable[int],
+        shrink: bool = True,
+        processes: Optional[int] = 1,
+    ) -> SweepResult:
+        """Run every seed; shrink the failures.
+
+        ``processes`` fans the (independent, per-seed-deterministic) runs
+        out over worker processes via :func:`repro.parallel.parallel_map`
+        — 1 (the default) is serial, None auto-sizes to the CPU count.
+        Reports, metrics, and failures are identical at any worker count;
+        shrinking always happens in this process, where the runner's
+        shrink budget and metrics live.
+        """
+        seeds = list(seeds)
+        reports = parallel_map(
+            _SeedRun(self.scenario, self.plan, self.spec), seeds, processes
+        )
         failures: List[FailingCase] = []
-        for seed in seeds:
-            report = self.run_seed(seed)
-            reports.append(report)
+        for report in reports:
+            self._account(report)
             if report.failed and shrink:
                 failures.append(self.shrink_case(report))
         return SweepResult(

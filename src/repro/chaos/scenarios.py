@@ -351,6 +351,7 @@ class CartDynamoScenario:
 
     def run(self, seed: int, plan: ChaosPlan) -> ChaosReport:
         sim = Simulator(seed=seed, trace_capacity=50000)
+        self._sim = sim  # exposed for trace inspection (golden tests)
         cluster = DynamoCluster(num_nodes=self.num_nodes, sim=sim)
         strategy = LwwCartStrategy() if self.policy == "lww" else OpCartStrategy()
         # Two devices sharing one cart (§6.1): when a partition makes

@@ -122,6 +122,13 @@ EXPERIMENTS: Tuple[Experiment, ...] = (
         ("repro.cluster.process_pair",),
         "benchmarks/bench_a06_checkpoint_cadence.py",
     ),
+    Experiment(
+        "K1", "Simulator kernel throughput",
+        "§1–§2 (infrastructure): every reproduced claim runs on the "
+        "deterministic kernel, so its throughput bounds the sweeps — "
+        "tracked via repro.perf and BENCH_sim.json, not a paper table",
+        ("repro.perf",), "benchmarks/bench_kernel_throughput.py",
+    ),
 )
 
 

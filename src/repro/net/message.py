@@ -21,7 +21,7 @@ def _reset_msg_ids() -> None:
 register_fresh_run_hook(_reset_msg_ids)
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """A message in flight between two named endpoints.
 

@@ -18,13 +18,14 @@ name; higher layers (RPC, cluster nodes) own the receive loops.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.errors import SimulationError
 from repro.net.latency import FixedLatency, LatencyModel
 from repro.net.message import Message
 from repro.sim.scheduler import Simulator
 from repro.sim.sync import Mailbox
+from repro.sim.trace import lazy
 
 
 @dataclass
@@ -86,6 +87,11 @@ class Network:
         self._groups: Optional[List[Set[str]]] = None
         self._faults: List[NetFault] = []
         self._rng = sim.rng.stream("net")
+        # Hot counters, resolved once instead of per-send dict lookups.
+        # Created lazily so a Network that never sends leaves the metrics
+        # registry exactly as empty as it used to.
+        self._ctr_sent: Optional[Any] = None
+        self._ctr_delivered: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # Topology
@@ -193,12 +199,30 @@ class Network:
         """Inject a message. Returns True if it was put in flight (it may
         still be lost to a partition cut or crash before delivery)."""
         if not self.reachable(msg.src, msg.dst):
-            self.sim.trace.emit("net", "drop.unreachable", msg=str(msg))
+            self.sim.trace.emit("net", "drop.unreachable", msg=lazy(msg))
             self.sim.metrics.inc("net.dropped")
             return False
         config = self.link(msg.src, msg.dst)
+        # Fast path: no loss, no duplication, no fault overlay — the
+        # steady-state configuration for every non-chaos run. One latency
+        # sample, one schedule; skips the overlay scan and copy loop while
+        # drawing exactly the RNG samples the general path would (none of
+        # the probability draws short-circuit below when disabled).
+        if (
+            not self._faults
+            and not config.loss_probability
+            and not config.duplicate_probability
+        ):
+            self.sim.schedule(
+                config.latency.sample(self._rng), self._deliver, msg
+            )
+            ctr = self._ctr_sent
+            if ctr is None:
+                ctr = self._ctr_sent = self.sim.metrics.counter("net.sent")
+            ctr.inc()
+            return True
         if config.loss_probability and self._rng.random() < config.loss_probability:
-            self.sim.trace.emit("net", "drop.loss", msg=str(msg))
+            self.sim.trace.emit("net", "drop.loss", msg=lazy(msg))
             self.sim.metrics.inc("net.dropped")
             return False
         copies = 1
@@ -213,7 +237,7 @@ class Network:
             if not fault.applies_to(msg.src, msg.dst):
                 continue
             if fault.loss_probability and self._rng.random() < fault.loss_probability:
-                self.sim.trace.emit("net", "drop.fault", msg=str(msg))
+                self.sim.trace.emit("net", "drop.fault", msg=lazy(msg))
                 self.sim.metrics.inc("net.dropped")
                 self.sim.metrics.inc("net.fault_dropped")
                 return False
@@ -234,10 +258,13 @@ class Network:
         # Re-check reachability at delivery time: a partition or crash that
         # happened while the message was in flight loses it.
         if not self.reachable(msg.src, msg.dst):
-            self.sim.trace.emit("net", "drop.in_flight", msg=str(msg))
+            self.sim.trace.emit("net", "drop.in_flight", msg=lazy(msg))
             self.sim.metrics.inc("net.dropped")
             return
-        self.sim.metrics.inc("net.delivered")
+        ctr = self._ctr_delivered
+        if ctr is None:
+            ctr = self._ctr_delivered = self.sim.metrics.counter("net.delivered")
+        ctr.inc()
         self._mailboxes[msg.dst].put(msg)
 
     def _require(self, name: str) -> None:

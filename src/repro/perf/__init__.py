@@ -1,0 +1,30 @@
+"""The perf harness: calibrated workloads, BENCH_sim.json, regression gate.
+
+Everything the repo measures — E1–E12, the chaos sweeps, the examples —
+funnels through ``Simulator.step``/``run``, ``TraceLog.emit`` and
+``Network.send``, so kernel throughput bounds every experiment we can
+afford. This package makes that trajectory a tracked artifact:
+
+    PYTHONPATH=src python -m repro.perf --quick --out BENCH_sim.json
+    PYTHONPATH=src python -m repro.perf --quick --baseline BENCH_sim.json
+
+See README.md ("Performance harness") for how to read the output.
+"""
+
+from repro.perf.harness import (
+    BenchReport,
+    WorkloadResult,
+    check_regression,
+    run_suite,
+    write_report,
+)
+from repro.perf.workloads import WORKLOADS
+
+__all__ = [
+    "WORKLOADS",
+    "BenchReport",
+    "WorkloadResult",
+    "check_regression",
+    "run_suite",
+    "write_report",
+]

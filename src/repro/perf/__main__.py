@@ -1,0 +1,64 @@
+"""CLI: run the perf suite, write BENCH_sim.json, gate on regressions.
+
+    python -m repro.perf --quick --out BENCH_sim.json
+    python -m repro.perf --quick --baseline BENCH_sim.json   # CI gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.perf.harness import (
+    check_regression,
+    load_baseline,
+    run_suite,
+    write_report,
+)
+from repro.perf.workloads import WORKLOADS
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perf",
+        description="Simulator benchmark harness (see BENCH_sim.json).",
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced scales (the CI mode)")
+    parser.add_argument("--out", default=None,
+                        help="write the report JSON here")
+    parser.add_argument("--baseline", default=None,
+                        help="compare events/sec against this report; exit 1 "
+                             "on a >30%% regression in any workload")
+    parser.add_argument("--workloads", nargs="*", default=None,
+                        choices=sorted(WORKLOADS),
+                        help="subset of workloads to run (default: all)")
+    args = parser.parse_args(argv)
+
+    baseline = load_baseline(args.baseline) if args.baseline else None
+    baseline_before = (baseline or {}).get("baseline_before")
+
+    report = run_suite(
+        quick=args.quick,
+        names=args.workloads,
+        baseline_before=baseline_before,
+        verbose=True,
+    )
+
+    if args.out:
+        write_report(report, args.out)
+        print(f"[perf] wrote {args.out}")
+
+    if baseline is not None:
+        failures = check_regression(report, baseline)
+        for failure in failures:
+            print(f"[perf] REGRESSION {failure}")
+        if failures:
+            return 1
+        print("[perf] regression gate: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,196 @@
+"""Run the workloads, time them, and emit/check ``BENCH_sim.json``.
+
+Two passes per workload:
+
+- a *timed* pass (no instrumentation beyond ``time.perf_counter``) for
+  wall time and events/sec;
+- a *memory* pass under ``tracemalloc`` for peak heap and bytes/event —
+  run separately because tracemalloc slows allocation several-fold and
+  would poison the throughput numbers.
+
+Workloads that support it get a third, trace-disabled timed pass; the
+ratio is the trace overhead (what ``TraceLog.emit`` costs the hot loop).
+
+The regression gate compares events/sec against a baseline file and
+fails on a >30% drop for any workload (wall-clock noise on shared CI
+runners is real; 30% is far outside it, and the trajectory itself is the
+artifact to read for slow drifts).
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import platform
+import time
+import tracemalloc
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro._version import __version__
+from repro.perf.workloads import WORKLOADS, Workload, WorkloadRun
+
+#: Fail the gate when events/sec falls below this fraction of baseline.
+REGRESSION_FLOOR = 0.70
+
+
+@dataclass
+class WorkloadResult:
+    """Measurements for one workload."""
+
+    name: str
+    description: str
+    scale: int
+    events: int
+    wall_s: float
+    events_per_sec: float
+    peak_heap_bytes: int
+    peak_heap_bytes_per_event: float
+    trace_overhead_frac: Optional[float]
+    notes: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "description": self.description,
+            "scale": self.scale,
+            "events": self.events,
+            "wall_s": round(self.wall_s, 6),
+            "events_per_sec": round(self.events_per_sec, 1),
+            "peak_heap_bytes": self.peak_heap_bytes,
+            "peak_heap_bytes_per_event": round(self.peak_heap_bytes_per_event, 1),
+            "trace_overhead_frac": (
+                None if self.trace_overhead_frac is None
+                else round(self.trace_overhead_frac, 4)
+            ),
+            "notes": self.notes,
+        }
+
+
+@dataclass
+class BenchReport:
+    """The whole suite's output — what BENCH_sim.json serializes."""
+
+    mode: str
+    results: List[WorkloadResult]
+    baseline_before: Optional[Dict[str, Any]] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "schema": 1,
+            "repro_version": __version__,
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "mode": self.mode,
+            "workloads": {r.name: r.to_dict() for r in self.results},
+        }
+        if self.baseline_before is not None:
+            payload["baseline_before"] = self.baseline_before
+        return payload
+
+
+def _timed(workload: Workload, scale: int, trace: bool = True) -> Tuple[WorkloadRun, float]:
+    gc.collect()
+    start = time.perf_counter()
+    run = workload.fn(scale, trace=trace)
+    wall = time.perf_counter() - start
+    return run, max(wall, 1e-9)
+
+
+def run_workload(name: str, quick: bool = True, memory_divisor: int = 4) -> WorkloadResult:
+    """Measure one workload: timed pass, memory pass, optional trace pass."""
+    workload = WORKLOADS[name]
+    scale = workload.scale(quick)
+
+    run, wall = _timed(workload, scale)
+
+    # Memory pass at reduced scale: peak heap is dominated by per-run
+    # state, which reaches steady state well before full scale.
+    mem_scale = max(1, scale // memory_divisor)
+    gc.collect()
+    tracemalloc.start()
+    mem_run = workload.fn(mem_scale, trace=True)
+    _current, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    trace_overhead: Optional[float] = None
+    if workload.trace_toggle:
+        _run_off, wall_off = _timed(workload, scale, trace=False)
+        trace_overhead = wall / wall_off - 1.0
+
+    return WorkloadResult(
+        name=name,
+        description=workload.description,
+        scale=scale,
+        events=run.events,
+        wall_s=wall,
+        events_per_sec=run.events / wall,
+        peak_heap_bytes=peak,
+        peak_heap_bytes_per_event=peak / max(mem_run.events, 1),
+        trace_overhead_frac=trace_overhead,
+        notes=run.notes,
+    )
+
+
+def run_suite(
+    quick: bool = True,
+    names: Optional[Iterable[str]] = None,
+    baseline_before: Optional[Dict[str, Any]] = None,
+    verbose: bool = False,
+) -> BenchReport:
+    selected = list(names) if names else sorted(WORKLOADS)
+    results = []
+    for name in selected:
+        result = run_workload(name, quick=quick)
+        results.append(result)
+        if verbose:
+            overhead = (
+                f" trace_overhead={result.trace_overhead_frac:+.1%}"
+                if result.trace_overhead_frac is not None else ""
+            )
+            print(
+                f"[perf] {name}: {result.events} events in "
+                f"{result.wall_s:.3f}s = {result.events_per_sec:,.0f} ev/s, "
+                f"peak heap {result.peak_heap_bytes / 1024:.0f} KiB"
+                f"{overhead}"
+            )
+    return BenchReport(
+        mode="quick" if quick else "full",
+        results=results,
+        baseline_before=baseline_before,
+    )
+
+
+def write_report(report: BenchReport, path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(report.to_dict(), handle, indent=1, sort_keys=True)
+        handle.write("\n")
+
+
+def load_baseline(path: str) -> Dict[str, Any]:
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def check_regression(
+    report: BenchReport, baseline: Dict[str, Any], floor: float = REGRESSION_FLOOR
+) -> List[str]:
+    """Compare events/sec against a baseline report's. Returns a list of
+    human-readable failures (empty = gate passes). Workloads missing from
+    the baseline are skipped — new workloads are not regressions."""
+    failures = []
+    base_workloads = baseline.get("workloads", {})
+    for result in report.results:
+        base = base_workloads.get(result.name)
+        if base is None:
+            continue
+        base_rate = base.get("events_per_sec", 0.0)
+        if base_rate <= 0:
+            continue
+        ratio = result.events_per_sec / base_rate
+        if ratio < floor:
+            failures.append(
+                f"{result.name}: {result.events_per_sec:,.0f} ev/s is "
+                f"{ratio:.0%} of baseline {base_rate:,.0f} ev/s "
+                f"(floor {floor:.0%})"
+            )
+    return failures

@@ -1,0 +1,224 @@
+"""Calibrated workloads for the perf harness.
+
+Each workload is a pure function of its scale knob (and fixed seeds), so
+two runs on the same interpreter do the same work — wall time is the only
+thing that varies. ``events`` is the number of kernel callbacks executed
+(``Simulator.steps``), except for ``trace_storm`` where it counts emitted
+trace records (the kernel never runs; the emit path itself is the subject).
+
+The five-plus workloads cover the kernel's load-bearing paths:
+
+- ``sched_churn``   — pure scheduler: future timers plus the zero-delay
+                      cascade every process resume generates.
+- ``rpc_ping``      — request/reply storm over the Network (mailboxes,
+                      AnyOf timers, spawn-per-request).
+- ``cart_mix``      — the §6.1 Dynamo cart: quorum fan-outs, vector
+                      clocks, sloppy quorum bookkeeping.
+- ``tandem_cadence``— the §3 DP2 pipeline: WRITE/FLUSH/COMMIT/APPLY with
+                      group commit lollygagging.
+- ``chaos_sweep``   — seeded BankClearingScenario sweeps, the shape every
+                      chaos CI gate runs.
+- ``trace_storm``   — TraceLog.emit under a formatting-heavy payload (the
+                      lazy-rendering fast path).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from repro.cart.service import CartService
+from repro.cart.strategies import OpCartStrategy
+from repro.chaos.scenarios import BankClearingScenario
+from repro.dynamo.cluster import DynamoCluster
+from repro.errors import TransactionAborted
+from repro.net.message import Message
+from repro.net.network import Network
+from repro.net.rpc import Endpoint
+from repro.sim.events import Timeout
+from repro.sim.scheduler import Simulator
+from repro.tandem import TandemConfig, TandemSystem
+
+
+@dataclass
+class WorkloadRun:
+    """What one workload execution did."""
+
+    events: int
+    notes: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A registered workload: a function plus its per-mode scales."""
+
+    fn: Callable[..., WorkloadRun]  # fn(scale, trace=True) -> WorkloadRun
+    quick_scale: int
+    full_scale: int
+    description: str
+    #: Whether running with the trace disabled is meaningful (used for the
+    #: trace-overhead measurement).
+    trace_toggle: bool = False
+
+    def scale(self, quick: bool) -> int:
+        return self.quick_scale if quick else self.full_scale
+
+
+# ----------------------------------------------------------------------
+
+
+def sched_churn(scale: int, trace: bool = True) -> WorkloadRun:
+    """Pure scheduler churn: 64 self-perpetuating timers, each firing a
+    3-deep zero-delay cascade — the signature pattern of process resumes."""
+    sim = Simulator(seed=1)
+    sim.trace.enabled = trace
+    state = [0]
+
+    def cont() -> None:
+        state[0] += 1
+
+    def tick() -> None:
+        state[0] += 1
+        if state[0] < scale:
+            sim.schedule(0.0, cont)
+            sim.schedule(0.0, cont)
+            sim.schedule(0.0, cont)
+            sim.schedule(0.13, tick)
+
+    for k in range(64):
+        sim.schedule(0.01 * (k + 1), tick)
+    sim.run()
+    return WorkloadRun(events=sim.steps, notes={"callbacks": state[0]})
+
+
+def rpc_ping(scale: int, trace: bool = True) -> WorkloadRun:
+    """RPC ping storm: 4 clients hammering one server with sequential
+    request/reply calls (spawn-per-request, AnyOf reply-or-timer)."""
+    sim = Simulator(seed=2)
+    sim.trace.enabled = trace
+    network = Network(sim)
+    server = Endpoint(network, "server")
+    server.register("PING", lambda _ep, msg: {"pong": msg.payload["n"]})
+    server.start()
+
+    def client(name: str, calls: int):
+        endpoint = Endpoint(network, name)
+        endpoint.start()
+        for n in range(calls):
+            reply = yield from endpoint.call("server", "PING", {"n": n})
+            assert reply["pong"] == n
+
+    per_client = scale // 4
+    for index in range(4):
+        sim.spawn(client(f"client{index}", per_client), name=f"pinger{index}")
+    sim.run()
+    return WorkloadRun(events=sim.steps, notes={"calls": per_client * 4})
+
+
+def cart_mix(scale: int, trace: bool = True) -> WorkloadRun:
+    """Dynamo cart mix: two shoppers adding items with periodic reads,
+    quorum fan-outs and vector-clock merges on every operation."""
+    sim = Simulator(seed=3)
+    sim.trace.enabled = trace
+    cluster = DynamoCluster(num_nodes=5, sim=sim)
+    shoppers = [
+        CartService(cluster, OpCartStrategy(), client=cluster.client(device))
+        for device in ("phone", "laptop")
+    ]
+
+    def shopping():
+        for i in range(scale):
+            cart = shoppers[i % 2]
+            yield from cart.add("cart", f"item{i}")
+            if i % 10 == 9:
+                yield from cart.view("cart")
+            yield Timeout(0.01)
+
+    sim.spawn(shopping(), name="perf.cart")
+    sim.run()
+    return WorkloadRun(events=sim.steps, notes={"adds": scale})
+
+
+def tandem_cadence(scale: int, trace: bool = True) -> WorkloadRun:
+    """Tandem DP2 checkpoint cadence: back-to-back transactions of two
+    WRITEs plus commit, exercising group commit and the ADP disk."""
+    system = TandemSystem(TandemConfig(mode="dp2", num_dps=2), seed=4)
+    sim = system.sim
+    sim.trace.enabled = trace
+    client = system.client()
+
+    def jobs():
+        for i in range(scale):
+            txn = client.begin()
+            try:
+                yield from client.write(txn, f"dp{i % 2}", f"k{i % 8}", i)
+                yield from client.write(txn, f"dp{(i + 1) % 2}", f"j{i % 8}", i)
+                yield from client.commit(txn)
+            except TransactionAborted:  # pragma: no cover - no chaos here
+                pass
+
+    sim.spawn(jobs(), name="perf.tandem")
+    sim.run()
+    return WorkloadRun(events=sim.steps, notes={"txns": scale})
+
+
+def chaos_sweep(scale: int, trace: bool = True) -> WorkloadRun:
+    """Chaos seed sweep: the BankClearingScenario under sampled plans,
+    one full scenario run per seed (no shrinking)."""
+    scenario = BankClearingScenario(policy="correct")
+    events = 0
+    violations = 0
+    for seed in range(scale):
+        report = scenario.run(seed, scenario.spec().sample(seed))
+        events += scenario._sim.steps
+        violations += len(report.violations)
+    return WorkloadRun(events=events, notes={"seeds": scale, "violations": violations})
+
+
+def trace_storm(scale: int, trace: bool = True) -> WorkloadRun:
+    """TraceLog.emit storm through the Network's drop path, whose payload
+    carries a formatted message repr — the lazy-formatting fast path."""
+    sim = Simulator(seed=5)
+    sim.trace.enabled = trace
+    network = Network(sim)
+    network.attach("src")
+    network.attach("sink")
+    network.detach("sink")  # every send emits drop.unreachable
+    for n in range(scale):
+        network.send(Message(src="src", dst="sink", kind="NOISE", payload={"n": n}))
+    return WorkloadRun(events=scale, notes={"records": len(sim.trace.records)})
+
+
+WORKLOADS: Dict[str, Workload] = {
+    "sched_churn": Workload(
+        sched_churn, quick_scale=150_000, full_scale=600_000,
+        description="pure scheduler churn (timers + zero-delay cascades)",
+    ),
+    "rpc_ping": Workload(
+        rpc_ping, quick_scale=2_000, full_scale=10_000,
+        description="RPC ping storm over the simulated network",
+    ),
+    "cart_mix": Workload(
+        cart_mix, quick_scale=1_000, full_scale=5_000,
+        description="Dynamo cart add/view mix (§6.1)",
+    ),
+    "tandem_cadence": Workload(
+        tandem_cadence, quick_scale=400, full_scale=2_000,
+        description="Tandem DP2 transaction + group-commit cadence (§3)",
+    ),
+    "chaos_sweep": Workload(
+        chaos_sweep, quick_scale=8, full_scale=30,
+        description="seeded chaos sweep of the bank-clearing scenario",
+    ),
+    "trace_storm": Workload(
+        trace_storm, quick_scale=100_000, full_scale=400_000,
+        description="TraceLog.emit with formatting-heavy payloads",
+        trace_toggle=True,
+    ),
+}
+
+
+def resolve(name: str) -> Workload:
+    if name not in WORKLOADS:
+        raise KeyError(f"unknown workload {name!r} (have {sorted(WORKLOADS)})")
+    return WORKLOADS[name]

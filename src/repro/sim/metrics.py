@@ -85,7 +85,9 @@ class Histogram:
         if low == high:
             return data[low]
         frac = rank - low
-        return data[low] * (1 - frac) + data[high] * frac
+        # Lerp as base + frac*(delta): exact when the endpoints are equal,
+        # where the two-product form can overshoot the data range by ulps.
+        return data[low] + frac * (data[high] - data[low])
 
     def summary(self) -> Dict[str, float]:
         return {

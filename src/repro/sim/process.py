@@ -34,6 +34,8 @@ class Process:
     """A running simulated process. Waitable: ``yield process`` waits for
     completion, as does ``process.done``."""
 
+    __slots__ = ("sim", "name", "gen", "done", "_wait")
+
     def __init__(self, sim: Any, gen: Generator[Any, Any, Any], name: str) -> None:
         if not hasattr(gen, "send"):
             raise SimulationError(

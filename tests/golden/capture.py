@@ -1,0 +1,23 @@
+"""Regenerate the golden fixtures. Only legitimate when the simulator's
+trace semantics change *on purpose*; optimizations must never need this.
+
+    PYTHONPATH=src python -m tests.golden.capture
+"""
+
+from __future__ import annotations
+
+from tests.golden.scenarios import FIXTURES, GOLDEN_RUNS, fixture_paths
+
+
+def main() -> None:
+    FIXTURES.mkdir(exist_ok=True)
+    for name, run in GOLDEN_RUNS.items():
+        trace, counters = run()
+        trace_path, counters_path = fixture_paths(name)
+        trace_path.write_text(trace)
+        counters_path.write_text(counters)
+        print(f"captured {name}: {len(trace.splitlines())} trace lines")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+"""Seeded runs whose rendered traces are frozen as golden fixtures.
+
+The fixtures under ``tests/golden/fixtures/`` were captured from the
+kernel *before* the perf overhaul (lazy trace formatting, batched drain
+loop, network fast path). Every kernel optimization must keep these runs
+bit-identical: same rendered trace lines, same final counters, same end
+time. If a fixture ever needs regenerating, that is a semantic change to
+the simulator and needs to be called out loudly in review:
+
+    PYTHONPATH=src python -m tests.golden.capture
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Tuple
+
+from repro.chaos.scenarios import BankClearingScenario, CartDynamoScenario
+from repro.errors import TransactionAborted
+from repro.sim.events import Timeout
+from repro.tandem import TandemConfig, TandemSystem
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def render_trace(sim: Any) -> str:
+    """The canonical rendered form of a run's trace: one repr per record,
+    then the eviction count and final clock. This is what must stay
+    bit-identical across kernel optimizations."""
+    lines = [repr(record) for record in sim.trace.records]
+    lines.append(f"dropped={sim.trace.dropped}")
+    lines.append(f"end={sim.now:.6g}")
+    return "\n".join(lines) + "\n"
+
+
+def render_counters(counters: Dict[str, float]) -> str:
+    return json.dumps(counters, sort_keys=True, indent=1) + "\n"
+
+
+# ----------------------------------------------------------------------
+# The three frozen runs
+
+
+def run_bank(seed: int = 7) -> Tuple[str, str]:
+    scenario = BankClearingScenario(policy="correct")
+    plan = scenario.spec().sample(seed)
+    report = scenario.run(seed, plan)
+    return render_trace(scenario._sim), render_counters(report.counters)
+
+
+def run_cart(seed: int = 11) -> Tuple[str, str]:
+    scenario = CartDynamoScenario(policy="correct")
+    plan = scenario.spec().sample(seed)
+    report = scenario.run(seed, plan)
+    return render_trace(scenario._sim), render_counters(report.counters)
+
+
+def run_tandem(seed: int = 3) -> Tuple[str, str]:
+    system = TandemSystem(TandemConfig(mode="dp2", num_dps=2), seed=seed)
+    sim = system.sim
+    client = system.client()
+    rng = sim.rng.stream("golden.tandem")
+
+    def job():
+        for i in range(25):
+            txn = client.begin()
+            try:
+                yield from client.write(txn, f"dp{i % 2}", f"k{i % 5}", i)
+                if rng.random() < 0.3:
+                    yield from client.write(txn, f"dp{(i + 1) % 2}", f"j{i % 3}", i)
+                yield from client.commit(txn)
+            except TransactionAborted:
+                sim.metrics.inc("golden.aborted")
+            yield Timeout(0.002 * rng.uniform(0.5, 1.5))
+
+    def saboteur():
+        yield Timeout(0.03)
+        aborted = system.crash_primary("dp0")
+        sim.metrics.inc("golden.crash_aborts", len(aborted))
+
+    sim.spawn(job(), name="golden.tandem.job")
+    sim.spawn(saboteur(), name="golden.tandem.saboteur")
+    sim.run(until=1.0)
+    counters = sim.metrics.counters()
+    counters["golden.committed_durable"] = float(system.committed_durable())
+    return render_trace(sim), render_counters(counters)
+
+
+GOLDEN_RUNS = {
+    "bank_seed7": run_bank,
+    "cart_seed11": run_cart,
+    "tandem_seed3": run_tandem,
+}
+
+
+def fixture_paths(name: str) -> Tuple[Path, Path]:
+    return FIXTURES / f"{name}.trace.txt", FIXTURES / f"{name}.counters.json"

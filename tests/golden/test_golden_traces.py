@@ -1,0 +1,33 @@
+"""Golden-trace regression tests: the kernel is bit-for-bit neutral.
+
+Each test replays one frozen seeded run (bank clearing under a chaos
+plan, Dynamo cart under a chaos plan, Tandem DP2 with a mid-run primary
+crash) and asserts the rendered trace and final metric counters are
+*byte-identical* to fixtures captured before the perf overhaul. This is
+what lets lazy trace formatting, the batched drain loop, the network
+fast path, and multiprocessing sweeps land without a determinism review
+of every call site.
+"""
+
+import pytest
+
+from tests.golden.scenarios import GOLDEN_RUNS, fixture_paths
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_RUNS))
+def test_golden_run_is_bit_identical(name):
+    trace_path, counters_path = fixture_paths(name)
+    assert trace_path.exists(), (
+        f"missing fixture {trace_path}; run `python -m tests.golden.capture`"
+    )
+    trace, counters = GOLDEN_RUNS[name]()
+    expected_trace = trace_path.read_text()
+    expected_counters = counters_path.read_text()
+    assert counters == expected_counters
+    # Compare line-by-line first for a readable diff on failure.
+    got_lines = trace.splitlines()
+    want_lines = expected_trace.splitlines()
+    for index, (got, want) in enumerate(zip(got_lines, want_lines)):
+        assert got == want, f"{name}: trace line {index} diverged"
+    assert len(got_lines) == len(want_lines)
+    assert trace == expected_trace

@@ -1,0 +1,107 @@
+"""Property-based contracts for the kernel's scheduling order and clock.
+
+These pin the invariants the fast-lane/batched-drain kernel must keep:
+global (time, seq) execution order regardless of which internal structure
+(heap or zero-delay lane) an entry rides, and the documented ``run``
+clock semantics for every combination of ``until`` and ``max_steps``.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Simulator
+
+# Delays on a coarse grid so ties are common — ties are where the
+# lane/heap ordering contract actually bites.
+_delays = st.floats(min_value=0.0, max_value=5.0, allow_nan=False).map(
+    lambda d: round(d * 4) / 4
+)
+
+
+@given(st.lists(_delays, max_size=40))
+@settings(max_examples=80)
+def test_execution_is_total_time_seq_order(delays):
+    """Entries run in (time, insertion-seq) order, even when zero delays
+    (the lane) interleave with positive delays (the heap)."""
+    sim = Simulator()
+    executed = []
+    for index, delay in enumerate(delays):
+        sim.schedule(delay, executed.append, (delay, index))
+    sim.run()
+    assert executed == sorted((d, i) for i, d in enumerate(delays))
+
+
+@given(st.lists(st.integers(0, 99), min_size=1, max_size=30))
+@settings(max_examples=50)
+def test_zero_delay_cascade_is_fifo(tags):
+    """A callback scheduling zero-delay work sees it run FIFO, after all
+    previously scheduled same-time work."""
+    sim = Simulator()
+    order = []
+
+    def tick():
+        order.append("tick")
+        for tag in tags:
+            sim.schedule(0.0, order.append, tag)
+
+    sim.schedule(1.0, tick)
+    sim.schedule(1.0, order.append, "tie")
+    sim.run()
+    assert order == ["tick", "tie"] + list(tags)
+    assert sim.now == 1.0
+
+
+@given(
+    st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+    st.floats(min_value=0.001, max_value=10.0, allow_nan=False),
+)
+@settings(max_examples=50)
+def test_schedule_at_past_raises(advance, backstep):
+    sim = Simulator()
+    sim.schedule(advance, lambda: None)
+    sim.run()
+    assert sim.now == advance
+    with pytest.raises(SimulationError):
+        sim.schedule_at(sim.now - backstep, lambda: None)
+
+
+@given(
+    st.lists(_delays, max_size=30),
+    st.floats(min_value=0.0, max_value=5.0, allow_nan=False),
+)
+@settings(max_examples=60)
+def test_run_until_never_exceeds_until(delays, until):
+    """No callback observes now > until, and the clock lands exactly on
+    until when the run bound (not exhaustion beyond it) is what stopped
+    execution."""
+    sim = Simulator()
+    observed = []
+    for delay in delays:
+        sim.schedule(delay, lambda: observed.append(sim.now))
+    sim.run(until=until)
+    assert all(t <= until for t in observed)
+    assert sim.now == until
+    assert len(observed) == sum(1 for d in delays if d <= until)
+
+
+@given(
+    st.lists(_delays, min_size=1, max_size=30),
+    st.integers(min_value=0, max_value=35),
+)
+@settings(max_examples=60)
+def test_max_steps_is_a_pure_prefix(delays, max_steps):
+    """Running with max_steps executes exactly the first min(n, max_steps)
+    callbacks of the full (time, seq) order, and a follow-up run finishes
+    the rest in order — interruption never reorders."""
+    sim = Simulator()
+    executed = []
+    for index, delay in enumerate(delays):
+        sim.schedule(delay, executed.append, (delay, index))
+    full_order = sorted((d, i) for i, d in enumerate(delays))
+    sim.run(max_steps=max_steps)
+    assert executed == full_order[:max_steps]
+    sim.run()
+    assert executed == full_order

@@ -1,0 +1,112 @@
+"""The ``run(until=..., max_steps=...)`` clock contract.
+
+Previously, when ``max_steps`` tripped with events still pending at or
+before ``until``, the clock was advanced to ``until`` anyway — a later
+``run()`` would then execute those events "in the past" relative to
+``now``. The contract now is: ``now`` reaches ``until`` only once every
+event at or before ``until`` has executed.
+"""
+
+from repro.errors import SimulationError
+from repro.sim import Simulator
+
+import pytest
+
+
+def test_max_steps_trip_does_not_jump_clock_to_until():
+    sim = Simulator()
+    seen = []
+    for t in (1.0, 2.0, 3.0, 4.0):
+        sim.schedule(t, seen.append, t)
+    sim.run(until=10.0, max_steps=2)
+    assert seen == [1.0, 2.0]
+    # Events at 3.0 and 4.0 are still due before until=10.0; the clock
+    # must not have skipped past them.
+    assert sim.now == 2.0
+
+
+def test_resume_after_trip_finishes_in_order_and_lands_on_until():
+    sim = Simulator()
+    seen = []
+    for t in (1.0, 2.0, 3.0, 4.0):
+        sim.schedule(t, seen.append, t)
+    sim.run(until=10.0, max_steps=2)
+    sim.run(until=10.0)
+    assert seen == [1.0, 2.0, 3.0, 4.0]
+    assert sim.now == 10.0
+
+
+def test_until_reached_when_pending_work_is_beyond_it():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.0, seen.append, 1.0)
+    sim.schedule(20.0, seen.append, 20.0)
+    sim.run(until=10.0, max_steps=100)
+    assert seen == [1.0]
+    assert sim.now == 10.0  # nothing due in (1, 10] — bound is the clock
+
+
+def test_max_steps_trip_mid_timestamp_preserves_tie_order():
+    """Interrupting inside a same-time batch and resuming must not
+    reorder the remaining ties (heap leftovers vs. newly-laned work)."""
+    sim = Simulator()
+    order = []
+
+    def spawner(tag):
+        order.append(tag)
+        sim.schedule(0.0, order.append, f"{tag}.child")
+
+    for tag in ("a", "b", "c"):
+        sim.schedule(1.0, spawner, tag)
+    sim.run(max_steps=2)  # runs "a", then one of the time-1.0 ties
+    assert order == ["a", "b"]
+    assert sim.now == 1.0
+    sim.run()
+    assert order == ["a", "b", "c", "a.child", "b.child", "c.child"]
+
+
+def test_zero_delay_work_blocks_clock_advance():
+    """A tripped run with zero-delay work still queued keeps now put."""
+    sim = Simulator()
+    seen = []
+
+    def fan_out():
+        for k in range(5):
+            sim.schedule(0.0, seen.append, k)
+
+    sim.schedule(1.0, fan_out)
+    sim.run(until=9.0, max_steps=3)
+    assert sim.now == 1.0  # laned work at t=1.0 remains
+    sim.run(until=9.0)
+    assert seen == [0, 1, 2, 3, 4]
+    assert sim.now == 9.0
+
+
+def test_run_is_not_reentrant():
+    sim = Simulator()
+
+    def nested():
+        sim.run()
+
+    sim.schedule(1.0, nested)
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_run_with_past_until_is_a_noop():
+    sim = Simulator()
+    sim.schedule(5.0, lambda: None)
+    sim.run()
+    assert sim.now == 5.0
+    assert sim.run(until=1.0) == 5.0
+    assert sim.now == 5.0
+
+
+def test_steps_counts_executed_callbacks():
+    sim = Simulator()
+    for t in (0.0, 0.0, 1.0, 2.0):
+        sim.schedule(t, lambda: None)
+    sim.run(max_steps=3)
+    assert sim.steps == 3
+    sim.run()
+    assert sim.steps == 4
