@@ -23,6 +23,7 @@ from repro.chaos.plan import (
     LinkFaultEpisode,
     PartitionEpisode,
 )
+from repro.chaos.retrystorm import RetryStormScenario
 from repro.chaos.scenarios import (
     BankClearingScenario,
     CartDynamoScenario,
@@ -59,6 +60,7 @@ __all__ = [
     "InvariantMonitor",
     "LinkFaultEpisode",
     "PartitionEpisode",
+    "RetryStormScenario",
     "SweepResult",
     "Violation",
     "balance_matches_entries",

@@ -31,6 +31,7 @@ from repro.chaos.plan import (
     LinkFaultEpisode,
     PartitionEpisode,
 )
+from repro.chaos.retrystorm import RetryStormScenario
 from repro.chaos.scenarios import (
     BankClearingScenario,
     CartDynamoScenario,
@@ -255,6 +256,7 @@ class ChaosRunner:
 _SCENARIOS: dict = {
     "bank": BankClearingScenario,
     "cart": CartDynamoScenario,
+    "retry-storm": RetryStormScenario,
 }
 
 
@@ -286,25 +288,70 @@ def _sweep(scenario: Any, seeds: Sequence[int]) -> SweepResult:
     return result
 
 
-def smoke(seeds: Sequence[int]) -> int:
+def _report_entry(scenario: Any, result: SweepResult) -> dict:
+    return {
+        "scenario": result.scenario,
+        "policy": getattr(scenario, "policy", None),
+        "runs": result.runs,
+        "violation_rate": result.violation_rate,
+        "failures": [
+            {
+                "seed": case.seed,
+                "invariant": case.violation.invariant,
+                "detail": case.violation.detail,
+                "minimal_plan": case.minimal_plan.to_dict(),
+                "replay_matches": case.replay_matches,
+                "shrink_evals": case.shrink_evals,
+            }
+            for case in result.failures
+        ],
+    }
+
+
+def _write_report(path: str, entries: List[dict]) -> None:
+    """The invariant-violation report CI uploads as an artifact: every
+    sweep's violation rate plus each failure's minimal replayable plan."""
+    with open(path, "w") as handle:
+        json.dump({"sweeps": entries}, handle, indent=2, sort_keys=True)
+    print(f"invariant report -> {path}")
+
+
+def smoke(seeds: Sequence[int], report_path: Optional[str] = None) -> int:
     """The CI gate: correct policies stay clean; a broken policy is
     found, shrunk, and replays exactly."""
     failed = False
+    entries: List[dict] = []
 
-    clean = _sweep(BankClearingScenario(policy="correct"), seeds)
+    bank_scenario = BankClearingScenario(policy="correct")
+    clean = _sweep(bank_scenario, seeds)
+    entries.append(_report_entry(bank_scenario, clean))
     if clean.failures:
         print("FAIL: correct bank policy violated an invariant")
         failed = True
 
-    cart = _sweep(CartDynamoScenario(policy="correct"), seeds)
+    cart_scenario = CartDynamoScenario(policy="correct")
+    cart = _sweep(cart_scenario, seeds)
+    entries.append(_report_entry(cart_scenario, cart))
     if cart.failures:
         print("FAIL: correct cart policy violated an invariant")
         failed = True
+
+    # A retry storm is a goodput catastrophe, not a correctness bug:
+    # the invariants must hold under BOTH client disciplines (E13
+    # measures the goodput gap separately).
+    for storm_policy in ("resilient", "naive"):
+        storm_scenario = RetryStormScenario(policy=storm_policy)
+        storm = _sweep(storm_scenario, seeds)
+        entries.append(_report_entry(storm_scenario, storm))
+        if storm.failures:
+            print(f"FAIL: {storm_policy} retry-storm policy violated an invariant")
+            failed = True
 
     broken_scenario = BankClearingScenario(policy="amnesiac-restart")
     broken = ChaosRunner(
         broken_scenario, spec=broken_scenario.spec(min_crashes=1)
     ).sweep(seeds)
+    entries.append(_report_entry(broken_scenario, broken))
     print(f"[{broken_scenario.name}] policy=amnesiac-restart "
           f"runs={broken.runs} failing={len(broken.failures)} "
           f"violation_rate={broken.violation_rate:.2f}")
@@ -317,6 +364,8 @@ def smoke(seeds: Sequence[int]) -> int:
         print("FAIL: a minimal plan did not replay bit-for-bit")
         failed = True
 
+    if report_path is not None:
+        _write_report(report_path, entries)
     print("chaos smoke: " + ("FAIL" if failed else "ok"))
     return 1 if failed else 0
 
@@ -333,13 +382,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="scenario policy (e.g. correct, amnesiac-restart, lww)")
     parser.add_argument("--seeds", type=int, default=5,
                         help="number of seeds to sweep (0..N-1)")
+    parser.add_argument("--report", default=None, metavar="FILE",
+                        help="write a JSON invariant-violation report "
+                             "(minimal replayable plans included)")
     args = parser.parse_args(argv)
 
     seeds = list(range(args.seeds))
     if args.smoke:
-        return smoke(seeds)
+        return smoke(seeds, report_path=args.report)
 
-    result = _sweep(_build_scenario(args.scenario, args.policy), seeds)
+    scenario = _build_scenario(args.scenario, args.policy)
+    result = _sweep(scenario, seeds)
+    if args.report is not None:
+        _write_report(args.report, [_report_entry(scenario, result)])
     return 1 if result.failures else 0
 
 

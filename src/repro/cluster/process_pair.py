@@ -33,8 +33,14 @@ from typing import Any, Callable, Generator, List, Optional
 from repro.errors import CrashedError, SimulationError
 from repro.net.network import Network
 from repro.net.rpc import Endpoint
+from repro.resilience import RetryPolicy
 from repro.sim.events import Timeout
 from repro.sim.scheduler import Simulator
+
+#: Synchronous checkpoints cross the failure boundary on the default
+#: fixed discipline (``timeout=1.0, retries=3``): the primary is stalled
+#: while this call is out, so patience beats backoff here.
+CHECKPOINT_POLICY = RetryPolicy(max_attempts=4, timeout=1.0)
 
 
 class CheckpointCadence(str, enum.Enum):
@@ -166,7 +172,7 @@ class PairedAlgorithm:
             yield from self.primary_endpoint.call(
                 f"{self.name}.backup", "CHECKPOINT",
                 {"state": state, "next_step": next_step},
-                timeout=1.0, retries=3,
+                policy=CHECKPOINT_POLICY,
             )
         else:
             self.primary_endpoint.cast(

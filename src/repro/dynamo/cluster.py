@@ -18,11 +18,22 @@ from repro.errors import QuicksandError, SimulationError, TimeoutError_
 from repro.net.latency import FixedLatency
 from repro.net.network import LinkConfig, Network
 from repro.net.rpc import Endpoint, RpcError
+from repro.resilience import RetryPolicy
 from repro.sim.events import AllOf
 from repro.sim.scheduler import Simulator
 from repro.dynamo.node import DynamoNode
 from repro.dynamo.ring import HashRing
 from repro.dynamo.versions import VectorClock, VersionedValue, prune_dominated
+
+
+#: Node-to-node replication traffic (anti-entropy pushes, Merkle sync):
+#: one retry on a half-second timer — the historic fixed discipline.
+REPLICATION_POLICY = RetryPolicy(max_attempts=2, timeout=0.5)
+
+#: Client scatter/gather traffic: the quorum machinery is the real retry
+#: layer, so each leg gets one fast retry and gives up (sloppy quorum
+#: falls back to hinted handoff instead of waiting).
+CLIENT_POLICY = RetryPolicy(max_attempts=2, timeout=0.05)
 
 
 class QuorumUnavailable(QuicksandError):
@@ -123,7 +134,7 @@ class DynamoCluster:
                             owner, "PUT",
                             {"key": key, "value": version.value,
                              "clock": dict(version.clock.counters)},
-                            timeout=0.5, retries=1,
+                            policy=REPLICATION_POLICY,
                         )
                         pushed += 1
         if pushed:
@@ -200,7 +211,8 @@ class DynamoCluster:
                     continue
                 a = self.nodes[a_name]
                 reply = yield from a.endpoint.call(
-                    b_name, "DIGESTS", {"buckets": buckets}, timeout=0.5, retries=1
+                    b_name, "DIGESTS", {"buckets": buckets},
+                    policy=REPLICATION_POLICY,
                 )
                 stats["digest_msgs"] += 1
                 theirs = reply["digests"]
@@ -219,7 +231,7 @@ class DynamoCluster:
                     sync_reply = yield from a.endpoint.call(
                         b_name, "SYNC_BUCKET",
                         {"bucket": bucket, "buckets": buckets, "versions": payload},
-                        timeout=0.5, retries=1,
+                        policy=REPLICATION_POLICY,
                     )
                     stats["bucket_msgs"] += 1
                     stats["versions_moved"] += len(payload)
@@ -249,10 +261,16 @@ class DynamoCluster:
 class DynamoClient:
     """A coordinator endpoint implementing GET/PUT with sloppy quorum."""
 
-    def __init__(self, cluster: DynamoCluster, name: str) -> None:
+    def __init__(
+        self,
+        cluster: DynamoCluster,
+        name: str,
+        policy: Optional[RetryPolicy] = None,
+    ) -> None:
         self.cluster = cluster
         self.sim = cluster.sim
         self.name = name
+        self.policy = policy or CLIENT_POLICY
         self.endpoint = Endpoint(cluster.network, name)
         self.endpoint.start()
         # Per-key high-water mark of this client's own clock component. A
@@ -388,7 +406,7 @@ class DynamoClient:
     ) -> Generator[Any, Any, Optional[Dict[str, Any]]]:
         try:
             result = yield from self.endpoint.call(
-                target, verb, dict(payload), timeout=0.05, retries=1
+                target, verb, dict(payload), policy=self.policy
             )
             return result
         except (TimeoutError_, RpcError):

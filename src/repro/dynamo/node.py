@@ -6,7 +6,12 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.net.network import Network
 from repro.net.rpc import Endpoint
+from repro.resilience import RetryPolicy
 from repro.sim.scheduler import Simulator
+
+#: Hint delivery: one retry on a half-second timer. Undelivered hints
+#: stay queued for the next pass, so the pass cadence is the backoff.
+HINT_POLICY = RetryPolicy(max_attempts=2, timeout=0.5)
 from repro.dynamo.versions import VectorClock, VersionedValue, prune_dominated
 
 
@@ -81,7 +86,7 @@ class DynamoNode:
                     intended, "PUT",
                     {"key": key, "value": version.value,
                      "clock": dict(version.clock.counters)},
-                    timeout=0.5, retries=1,
+                    policy=HINT_POLICY,
                 )
                 delivered += 1
             except Exception:  # noqa: BLE001 - owner died again; retry later

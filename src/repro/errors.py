@@ -30,6 +30,29 @@ class TimeoutError_(QuicksandError):
     """
 
 
+class DeadlineExceeded(TimeoutError_):
+    """A call's overall deadline passed before a useful reply arrived.
+
+    Subclasses :class:`TimeoutError_` so callers that treat "the fabric
+    gave me nothing in time" uniformly keep working; the distinct type
+    lets policy-aware callers tell budget exhaustion from a lost packet.
+    """
+
+
+class ServerBusyError(TimeoutError_):
+    """Every attempt was shed by server-side admission control (a BUSY
+    reply): the server is alive but refusing work beyond its watermark."""
+
+
+class BreakerOpenError(QuicksandError):
+    """A call was short-circuited locally because the destination's
+    circuit breaker is open — no message was sent."""
+
+    def __init__(self, dst: str, detail: str = "") -> None:
+        super().__init__(f"circuit to {dst!r} is open{': ' + detail if detail else ''}")
+        self.dst = dst
+
+
 class InterruptError(QuicksandError):
     """A simulated process was interrupted (e.g. by a crash or a kill)."""
 

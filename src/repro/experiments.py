@@ -92,6 +92,14 @@ EXPERIMENTS: Tuple[Experiment, ...] = (
         ("repro.core",), "benchmarks/bench_e12_acid2_convergence.py",
     ),
     Experiment(
+        "E13", "Retry storm vs backoff + breaker",
+        "§2.1/§7: fixed-timer reissue under a slow server multiplies load and "
+        "collapses goodput; backoff + jitter + deadlines + breaker + "
+        "admission control degrade gracefully (guess now, apologize later)",
+        ("repro.resilience", "repro.chaos.retrystorm"),
+        "benchmarks/bench_e13_retry_storm.py",
+    ),
+    Experiment(
         "A1", "Hinted handoff availability",
         "§6.1: sloppy quorum keeps PUTs available past strict-quorum failure",
         ("repro.dynamo",), "benchmarks/bench_a01_hinted_handoff.py",

@@ -9,7 +9,13 @@ from repro.core.replica import Replica
 from repro.errors import TimeoutError_
 from repro.net.network import Network
 from repro.net.rpc import Endpoint, RpcError
+from repro.resilience import RetryPolicy
 from repro.sim.events import Timeout
+
+#: One retry on a short timer, no backoff: gossip rounds are periodic
+#: anyway, so the loop itself is the backoff. Matches the historic
+#: ``timeout=0.5, retries=1`` discipline exactly.
+GOSSIP_POLICY = RetryPolicy(max_attempts=2, timeout=0.5)
 
 
 def wire_op(op: Operation) -> Dict[str, Any]:
@@ -42,12 +48,14 @@ class GossipNode:
         replica: Replica,
         peers: Sequence[str],
         period: float = 1.0,
+        policy: Optional[RetryPolicy] = None,
     ) -> None:
         self.network = network
         self.sim = network.sim
         self.replica = replica
         self.peers = [p for p in peers if p != replica.name]
         self.period = period
+        self.policy = policy or GOSSIP_POLICY
         self.endpoint = Endpoint(network, replica.name)
         self.endpoint.register("DIGEST", self._handle_digest)
         self.endpoint.register("OPS", self._handle_ops)
@@ -81,7 +89,7 @@ class GossipNode:
         Raises on unreachable peers (callers decide whether that matters)."""
         digest = list(self.replica.ops.uniquifiers())
         reply = yield from self.endpoint.call(
-            peer, "DIGEST", {"have": digest}, timeout=0.5, retries=1
+            peer, "DIGEST", {"have": digest}, policy=self.policy
         )
         incoming = [op_from_wire(entry) for entry in reply["ops"]]
         self.replica.integrate(incoming)
@@ -91,7 +99,7 @@ class GossipNode:
         ]
         if outgoing:
             yield from self.endpoint.call(
-                peer, "OPS", {"ops": outgoing}, timeout=0.5, retries=1
+                peer, "OPS", {"ops": outgoing}, policy=self.policy
             )
         moved = len(incoming) + len(outgoing)
         if moved:

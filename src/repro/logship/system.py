@@ -27,6 +27,7 @@ from repro.errors import CrashedError, SimulationError
 from repro.net.latency import ExponentialLatency, FixedLatency, LatencyModel
 from repro.net.network import LinkConfig, Network
 from repro.net.rpc import Endpoint
+from repro.resilience import RetryPolicy
 from repro.sim.events import Timeout
 from repro.sim.scheduler import Simulator
 from repro.sim.sync import Lock
@@ -36,6 +37,12 @@ from repro.logship.replica import DatabaseReplica
 class ShipMode(str, enum.Enum):
     ASYNC = "async"
     SYNC = "sync"
+
+
+#: Shipping a log batch over the WAN: generous timer, two retries —
+#: the historic ``timeout=5.0, retries=2`` discipline. The ship loop is
+#: serialized, so a slow batch never stacks concurrent attempts.
+SHIP_POLICY = RetryPolicy(max_attempts=3, timeout=5.0)
 
 
 class LogShippingSystem:
@@ -155,7 +162,7 @@ class LogShippingSystem:
             if not self.network.is_attached(peer):
                 return
             yield from primary.endpoint.call(
-                peer, "SHIP", {"records": records}, timeout=5.0, retries=2
+                peer, "SHIP", {"records": records}, policy=SHIP_POLICY
             )
             primary.shipped_lsn = records[-1]["lsn"]
             self.sim.metrics.inc("logship.shipped_records", len(records))

@@ -13,6 +13,21 @@ This is the paper's §2.1 in executable form:
 Handlers may be plain functions (fast-path, no simulated time) or
 generators (they can yield kernel effects, e.g. disk IO). Each request is
 served in its own process, so a slow handler does not block the endpoint.
+
+*How* a caller retries, and what a server does when it cannot keep up,
+is delegated to :mod:`repro.resilience`:
+
+- ``call(..., policy=RetryPolicy(...))`` drives backoff, jitter, and the
+  overall deadline (stamped into the payload for downstream shedding);
+  the bare ``timeout=``/``retries=`` form reproduces the historic fixed
+  discipline exactly — same timers, no RNG draws.
+- :meth:`Endpoint.use_breaker` puts a per-destination circuit breaker in
+  front of ``call`` and ``cast``.
+- :meth:`Endpoint.use_admission` bounds concurrently-served handlers:
+  beyond the watermark, requests are rejected with a ``BUSY`` reply —
+  or answered by a degraded-mode handler (:meth:`Endpoint.on_degraded`)
+  with a stale "guess" — and requests whose carried deadline already
+  passed are shed without reply (nobody is listening).
 """
 
 from __future__ import annotations
@@ -20,15 +35,32 @@ from __future__ import annotations
 import hashlib
 import itertools
 import json
-from typing import Any, Callable, Dict, Generator, Optional
+from typing import Any, Callable, Dict, Generator, Optional, Set
 
-from repro.errors import CrashedError, SimulationError, TimeoutError_
+from repro.errors import (
+    BreakerOpenError,
+    CrashedError,
+    DeadlineExceeded,
+    InterruptError,
+    ServerBusyError,
+    SimulationError,
+    TimeoutError_,
+)
 from repro.net.message import Message
 from repro.net.network import Network
+from repro.resilience.admission import Admission, AdmissionConfig, AdmissionControl
+from repro.resilience.breaker import BreakerBoard, BreakerConfig
+from repro.resilience.deadline import stamp
+from repro.resilience.retry import RetryPolicy
 from repro.sim.events import AnyOf, Event
 from repro.sim.scheduler import register_fresh_run_hook
 
 _uniq_counter = itertools.count(1)
+
+#: Cache of the fixed policies the legacy ``timeout=``/``retries=`` call
+#: form builds, so the hot path pays dataclass construction once per
+#: distinct (timeout, retries) pair instead of per call.
+_legacy_policies: Dict[tuple, RetryPolicy] = {}
 
 
 def fresh_uniquifier(prefix: str = "req") -> str:
@@ -54,6 +86,14 @@ def content_uniquifier(kind: str, payload: Dict[str, Any]) -> str:
     return f"md5-{hashlib.md5(body.encode()).hexdigest()}"
 
 
+def _legacy_policy(timeout: float, retries: int) -> RetryPolicy:
+    key = (timeout, retries)
+    policy = _legacy_policies.get(key)
+    if policy is None:
+        policy = _legacy_policies[key] = RetryPolicy.legacy(timeout, retries)
+    return policy
+
+
 class RpcError(Exception):
     """The remote handler raised; carries the remote error text."""
 
@@ -73,10 +113,41 @@ class Endpoint:
         self.dedup = dedup
         self.mailbox = network.attach(name)
         self._handlers: Dict[str, Callable[..., Any]] = {}
+        self._degraded: Dict[str, Callable[..., Any]] = {}
         self._pending: Dict[int, Event] = {}
         self._replies_by_uniquifier: Dict[str, Message] = {}
         self._inflight: Dict[str, list] = {}  # uniquifier -> queued duplicate msgs
+        self._handler_procs: Set[Any] = set()  # in-flight per-request processes
         self._proc = None
+        self._breakers: Optional[BreakerBoard] = None
+        self._admission: Optional[AdmissionControl] = None
+
+    # ------------------------------------------------------------------
+    # Resilience configuration (all opt-in; nothing changes until set)
+
+    def use_breaker(self, config: Optional[BreakerConfig] = None) -> None:
+        """Put a per-destination circuit breaker in front of this
+        endpoint's outgoing ``call``/``cast`` traffic."""
+        self._breakers = BreakerBoard(self.sim, self.name, config or BreakerConfig())
+
+    def use_admission(self, config: Optional[AdmissionConfig] = None) -> None:
+        """Bound this endpoint's concurrently-served handlers; excess
+        requests get a ``BUSY`` reply (or a degraded answer), expired
+        ones are shed."""
+        self._admission = AdmissionControl(
+            self.sim, self.name, config or AdmissionConfig()
+        )
+
+    def breaker_state(self, dst: str) -> Optional[str]:
+        """The breaker state toward ``dst`` (None if no breaker is set)."""
+        if self._breakers is None:
+            return None
+        return self._breakers.for_dst(dst).state.value
+
+    @property
+    def inflight_handlers(self) -> int:
+        """Handler processes currently serving requests."""
+        return len(self._handler_procs)
 
     # ------------------------------------------------------------------
     # Server side
@@ -99,6 +170,24 @@ class Endpoint:
 
         return decorate
 
+    def register_degraded(self, kind: str, handler: Callable[..., Any]) -> None:
+        """Install a degraded-mode answer for ``kind``: when admission
+        control would reject the request as BUSY, ``handler(endpoint,
+        msg)`` may return a cheap stale payload (a "guess" now, an
+        apology later) served with ``degraded=True``; returning None
+        falls back to the BUSY rejection. Must not yield — a degraded
+        answer that queues for resources defeats its purpose."""
+        self._degraded[kind] = handler
+
+    def on_degraded(self, kind: str) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+        """Decorator form of :meth:`register_degraded`."""
+
+        def decorate(handler: Callable[..., Any]) -> Callable[..., Any]:
+            self.register_degraded(kind, handler)
+            return handler
+
+        return decorate
+
     def start(self) -> None:
         """Begin serving. Idempotent while running."""
         if self._proc is not None and self._proc.alive:
@@ -107,10 +196,14 @@ class Endpoint:
 
     def stop(self, cause: Any = "stopped") -> None:
         """Crash/stop the endpoint: detach from the network, kill the serve
-        loop, fail outstanding client calls, and (fail-fast) forget all
-        volatile state including the dedup cache."""
+        loop *and* every in-flight per-request handler (fail-fast — a dead
+        node must not finish work or send replies), fail outstanding client
+        calls, and forget all volatile state including the dedup cache."""
         if self._proc is not None:
             self._proc.interrupt(cause)
+        handler_procs, self._handler_procs = self._handler_procs, set()
+        for proc in handler_procs:
+            proc.interrupt(cause)
         if self.network.is_attached(self.name):
             self.network.detach(self.name)
         self._replies_by_uniquifier.clear()
@@ -121,8 +214,20 @@ class Endpoint:
                 event.fail(CrashedError(f"{self.name} stopped: {cause}"))
 
     def restart(self) -> None:
-        """Rejoin the network with a fresh mailbox and serve again."""
-        self.mailbox = self.network.attach(self.name)
+        """Rejoin the network with a fresh mailbox and serve again.
+        Idempotent while serving (mirrors :meth:`start`): a double restart
+        must not leave two serve loops racing on one mailbox."""
+        attached = self.network.is_attached(self.name)
+        alive = self._proc is not None and self._proc.alive
+        if attached and alive:
+            return
+        if alive:
+            # The serve loop outlived its mailbox (crashed network-side
+            # only): it is blocked on a drained mailbox and must die
+            # before a replacement starts.
+            self._proc.interrupt("restart")
+        if not attached:
+            self.mailbox = self.network.attach(self.name)
         self._proc = self.sim.spawn(self._serve(), name=f"rpc:{self.name}")
 
     def _serve(self) -> Generator[Any, Any, None]:
@@ -157,12 +262,38 @@ class Endpoint:
                 self._inflight[uniquifier].append(msg)
                 self.sim.metrics.inc(f"rpc.{self.name}.dedup_hits")
                 return
+        if self._admission is not None:
+            verdict = self._admission.decide(len(self._handler_procs), msg.payload)
+            if verdict is Admission.EXPIRED:
+                # The carried deadline passed: the caller has provably
+                # given up, so a reply would be wasted work too.
+                self.sim.trace.emit(self.name, "rpc.shed", verb=msg.kind,
+                                    src=msg.src, reason="expired")
+                return
+            if verdict is Admission.BUSY:
+                degraded = self._degraded.get(msg.kind)
+                if degraded is not None:
+                    guess = degraded(self, msg)
+                    if guess is not None:
+                        payload = dict(guess)
+                        payload["degraded"] = True
+                        self.sim.metrics.inc(f"rpc.{self.name}.degraded_replies")
+                        self.network.send(msg.reply("OK", **payload))
+                        return
+                self.sim.trace.emit(self.name, "rpc.busy", verb=msg.kind, src=msg.src)
+                self.network.send(msg.reply("BUSY", reason="overloaded"))
+                return
+        if self.dedup and uniquifier is not None:
             self._inflight[uniquifier] = []
         handler = self._handlers.get(msg.kind)
         if handler is None:
             self.network.send(msg.reply("ERROR", error=f"no handler for {msg.kind}"))
             return
-        self.sim.spawn(self._run_handler(handler, msg), name=f"rpc:{self.name}:{msg.kind}")
+        proc = self.sim.spawn(
+            self._run_handler(handler, msg), name=f"rpc:{self.name}:{msg.kind}"
+        )
+        self._handler_procs.add(proc)
+        proc.done.add_callback(lambda _event, p=proc: self._handler_procs.discard(p))
 
     def _run_handler(self, handler: Callable[..., Any], msg: Message) -> Generator[Any, Any, None]:
         try:
@@ -171,6 +302,10 @@ class Endpoint:
                 result = yield from result
             payload = result if isinstance(result, dict) else {"result": result}
             reply = msg.reply("OK", **payload)
+        except InterruptError:
+            # The endpoint crashed under us (fail-fast): die without
+            # replying — a dead node must not speak.
+            raise
         except Exception as exc:  # noqa: BLE001 - becomes a remote error
             reply = msg.reply("ERROR", error=str(exc))
         uniquifier = msg.payload.get("uniquifier")
@@ -199,37 +334,112 @@ class Endpoint:
         payload: Optional[Dict[str, Any]] = None,
         timeout: float = 1.0,
         retries: int = 3,
+        policy: Optional[RetryPolicy] = None,
     ) -> Generator[Any, Any, Dict[str, Any]]:
         """Place a call; use as ``result = yield from endpoint.call(...)``.
 
-        Retries keep the same uniquifier. Raises :class:`TimeoutError_`
-        after the final retry, :class:`RpcError` on a remote error reply.
+        Retries keep the same uniquifier. ``policy`` supersedes the bare
+        ``timeout``/``retries`` knobs and adds backoff, jitter, and an
+        overall deadline (stamped into the payload for downstream
+        shedding). Raises :class:`TimeoutError_` after the final retry
+        (:class:`DeadlineExceeded` when the budget ran out,
+        :class:`ServerBusyError` when every attempt was shed),
+        :class:`BreakerOpenError` when the destination's breaker is
+        open, and :class:`RpcError` on a remote error reply.
         """
         if self._proc is None or not self._proc.alive:
             raise SimulationError(f"endpoint {self.name!r} is not serving; call start()")
+        if policy is None:
+            policy = _legacy_policy(timeout, retries)
         request_payload = dict(payload or {})
         request_payload.setdefault("uniquifier", fresh_uniquifier(f"{self.name}:{kind}"))
-        attempts = retries + 1
+        deadline: Optional[float] = None
+        if policy.deadline is not None:
+            deadline = self.sim.now + policy.deadline
+            stamp(request_payload, deadline)
+            deadline = request_payload["deadline"]  # honor a tighter inherited one
+        breaker = self._breakers.for_dst(dst) if self._breakers is not None else None
+        jitter_rng = (
+            self.sim.rng.stream(f"{policy.rng_stream}.{self.name}")
+            if policy.jitter else None
+        )
+        attempts = policy.max_attempts
+        busy_rejections = 0
         for attempt in range(attempts):
+            if attempt:
+                delay = policy.backoff_delay(attempt, jitter_rng)
+                if delay > 0.0:
+                    if deadline is not None and self.sim.now + delay >= deadline:
+                        raise DeadlineExceeded(
+                            f"{self.name} -> {dst} {kind}: backoff outlives "
+                            f"deadline after {attempt} attempts"
+                        )
+                    yield from self._sleep(delay)
+            if breaker is not None and not breaker.allow():
+                raise BreakerOpenError(dst, f"{kind} short-circuited")
+            remaining_budget = policy.timeout
+            if deadline is not None:
+                remaining_budget = deadline - self.sim.now
+                if remaining_budget <= 0.0:
+                    raise DeadlineExceeded(
+                        f"{self.name} -> {dst} {kind}: deadline exceeded "
+                        f"after {attempt} attempts"
+                    )
+                remaining_budget = min(policy.timeout, remaining_budget)
             msg = Message(src=self.name, dst=dst, kind=kind, payload=dict(request_payload))
             reply_event = self.sim.event(name=f"reply:{msg.msg_id}")
             self._pending[msg.msg_id] = reply_event
             self.network.send(msg)
-            timer = self.sim.timeout_event(timeout)
+            timer = self.sim.timeout_event(remaining_budget)
             results = yield AnyOf([reply_event, timer])
             if reply_event in results:
                 reply: Message = reply_event.value
+                if reply.kind == "BUSY":
+                    # Server-side load shedding: the destination is alive
+                    # but over its watermark. Retriable, and a failure in
+                    # the breaker's eyes (capacity is what it guards).
+                    busy_rejections += 1
+                    if breaker is not None:
+                        breaker.record_failure()
+                    self.sim.metrics.inc(f"rpc.{self.name}.busy_rejections")
+                    self.sim.trace.emit(self.name, "rpc.rejected", dst=dst,
+                                        verb=kind, attempt=attempt + 1)
+                    continue
+                if breaker is not None:
+                    # Any substantive reply proves the destination serves.
+                    breaker.record_success()
                 if reply.kind == "ERROR":
                     raise RpcError("ERROR", reply.payload.get("error", ""))
                 return reply.payload
             self._pending.pop(msg.msg_id, None)
+            if breaker is not None:
+                breaker.record_failure()
             self.sim.metrics.inc(f"rpc.{self.name}.retries")
             self.sim.trace.emit(self.name, "rpc.retry", dst=dst, verb=kind, attempt=attempt + 1)
+        if busy_rejections == attempts:
+            raise ServerBusyError(
+                f"{self.name} -> {dst} {kind}: shed by admission control "
+                f"{attempts} times"
+            )
         raise TimeoutError_(f"{self.name} -> {dst} {kind}: no reply after {attempts} attempts")
 
-    def cast(self, dst: str, kind: str, payload: Optional[Dict[str, Any]] = None) -> None:
-        """Fire-and-forget send."""
+    def _sleep(self, delay: float) -> Generator[Any, Any, None]:
+        """Backoff pause that survives being mixed into AnyOf-driven
+        callers: a plain timer event with this call as the only waiter."""
+        yield self.sim.timeout_event(delay, name=f"backoff:{self.name}")
+
+    def cast(self, dst: str, kind: str, payload: Optional[Dict[str, Any]] = None) -> bool:
+        """Fire-and-forget send. Consults the circuit breaker (state
+        only — casts carry no feedback) and returns False when the open
+        breaker short-circuited the send."""
+        if self._breakers is not None:
+            breaker = self._breakers.for_dst(dst)
+            if not breaker.would_allow():
+                self.sim.metrics.inc(f"resilience.breaker.{self.name}.short_circuits")
+                self.sim.trace.emit(self.name, "rpc.cast_dropped", dst=dst, verb=kind)
+                return False
         self.network.send(Message(src=self.name, dst=dst, kind=kind, payload=dict(payload or {})))
+        return True
 
 
 class RpcClient(Endpoint):
@@ -247,6 +457,11 @@ def rpc_call(
     payload: Optional[Dict[str, Any]] = None,
     timeout: float = 1.0,
     retries: int = 3,
+    policy: Optional[RetryPolicy] = None,
 ) -> Generator[Any, Any, Dict[str, Any]]:
     """Free-function alias for ``endpoint.call`` (reads better in loops)."""
-    return (yield from endpoint.call(dst, kind, payload, timeout=timeout, retries=retries))
+    return (
+        yield from endpoint.call(
+            dst, kind, payload, timeout=timeout, retries=retries, policy=policy
+        )
+    )

@@ -18,6 +18,10 @@ The five-plus workloads cover the kernel's load-bearing paths:
                       group commit lollygagging.
 - ``chaos_sweep``   — seeded BankClearingScenario sweeps, the shape every
                       chaos CI gate runs.
+- ``resilient_rpc`` — the rpc_ping storm with the full resilience stack
+                      engaged (policy calls, deadline stamping, breaker
+                      bookkeeping, admission decisions) — prices the
+                      per-call overhead of repro.resilience.
 - ``trace_storm``   — TraceLog.emit under a formatting-heavy payload (the
                       lazy-rendering fast path).
 """
@@ -175,6 +179,41 @@ def chaos_sweep(scale: int, trace: bool = True) -> WorkloadRun:
     return WorkloadRun(events=events, notes={"seeds": scale, "violations": violations})
 
 
+def resilient_rpc(scale: int, trace: bool = True) -> WorkloadRun:
+    """The rpc_ping storm with the resilience stack turned on: every
+    call runs through a RetryPolicy with a deadline (stamped into each
+    payload), a per-destination circuit breaker records every outcome,
+    and the server's admission control rules on every arrival. Measures
+    what the opt-in layer costs on the happy path."""
+    from repro.resilience import AdmissionConfig, BreakerConfig, RetryPolicy
+
+    sim = Simulator(seed=6)
+    sim.trace.enabled = trace
+    network = Network(sim)
+    server = Endpoint(network, "server")
+    server.use_admission(AdmissionConfig(max_inflight=64))
+    server.register("PING", lambda _ep, msg: {"pong": msg.payload["n"]})
+    server.start()
+    policy = RetryPolicy(
+        max_attempts=3, timeout=1.0, backoff="exponential",
+        base_delay=0.05, jitter=0.2, deadline=5.0,
+    )
+
+    def client(name: str, calls: int):
+        endpoint = Endpoint(network, name)
+        endpoint.use_breaker(BreakerConfig())
+        endpoint.start()
+        for n in range(calls):
+            reply = yield from endpoint.call("server", "PING", {"n": n}, policy=policy)
+            assert reply["pong"] == n
+
+    per_client = scale // 4
+    for index in range(4):
+        sim.spawn(client(f"client{index}", per_client), name=f"pinger{index}")
+    sim.run()
+    return WorkloadRun(events=sim.steps, notes={"calls": per_client * 4})
+
+
 def trace_storm(scale: int, trace: bool = True) -> WorkloadRun:
     """TraceLog.emit storm through the Network's drop path, whose payload
     carries a formatted message repr — the lazy-formatting fast path."""
@@ -209,6 +248,10 @@ WORKLOADS: Dict[str, Workload] = {
     "chaos_sweep": Workload(
         chaos_sweep, quick_scale=8, full_scale=30,
         description="seeded chaos sweep of the bank-clearing scenario",
+    ),
+    "resilient_rpc": Workload(
+        resilient_rpc, quick_scale=2_000, full_scale=10_000,
+        description="RPC ping storm with policy + breaker + admission engaged",
     ),
     "trace_storm": Workload(
         trace_storm, quick_scale=100_000, full_scale=400_000,

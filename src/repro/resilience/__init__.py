@@ -1,0 +1,50 @@
+"""Application-layer fault-tolerance for the fabric (retry discipline,
+circuit breaking, deadlines, load shedding).
+
+The paper's systems survive *component* failure; this package is about
+surviving *overload* — the metastable outages where recovery machinery
+(fixed-timer retries with unbounded enthusiasm) amplifies a transient
+fault into a collapse. Following the application-layer fault-tolerance
+argument (policies belong in a reusable layer, not scattered per
+caller), everything here is policy objects the RPC endpoint consults:
+
+- :class:`RetryPolicy` — fixed/exponential backoff with deterministic
+  seeded jitter, max attempts, per-attempt timeout, overall deadline;
+- :class:`CircuitBreaker` / :class:`BreakerBoard` — per-destination
+  closed/open/half-open state machines on simulated time;
+- :mod:`~repro.resilience.deadline` — "answer me by T" carried in the
+  payload, so servers shed work nobody is waiting for;
+- :class:`AdmissionControl` — bounded in-flight handlers with BUSY
+  rejections and a degraded-mode ("guess now, apologize later") hook on
+  the endpoint.
+
+Nothing here activates by default: an endpoint with no policy behaves —
+bit for bit, RNG draw for RNG draw — exactly as before the layer
+existed (``tests/golden`` enforces this).
+"""
+
+from repro.resilience.admission import Admission, AdmissionConfig, AdmissionControl
+from repro.resilience.breaker import (
+    BreakerBoard,
+    BreakerConfig,
+    BreakerState,
+    CircuitBreaker,
+)
+from repro.resilience.deadline import DEADLINE_KEY, deadline_of, expired, remaining, stamp
+from repro.resilience.retry import RetryPolicy
+
+__all__ = [
+    "Admission",
+    "AdmissionConfig",
+    "AdmissionControl",
+    "BreakerBoard",
+    "BreakerConfig",
+    "BreakerState",
+    "CircuitBreaker",
+    "DEADLINE_KEY",
+    "RetryPolicy",
+    "deadline_of",
+    "expired",
+    "remaining",
+    "stamp",
+]

@@ -1,0 +1,52 @@
+"""Deadline propagation: carry "answer me by T" with the request.
+
+A caller with an overall budget stamps the absolute simulated-time
+deadline into the request payload (under :data:`DEADLINE_KEY`); every
+hop downstream can then ask two questions:
+
+- :func:`expired` — is it already too late to be useful?
+- :func:`remaining` — how much budget is left for sub-calls?
+
+Servers use ``expired`` to *shed* work whose caller has necessarily
+given up (see :mod:`repro.resilience.admission`); mid-tier services use
+``remaining`` to derive tighter sub-deadlines instead of letting a
+doomed fan-out run to its own timers. Requests without a deadline are
+never shed — absence means "no budget was declared", not "zero budget".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.resilience.retry import DEADLINE_KEY
+
+__all__ = ["DEADLINE_KEY", "deadline_of", "expired", "remaining", "stamp"]
+
+
+def deadline_of(payload: Dict[str, Any]) -> Optional[float]:
+    """The absolute deadline carried in ``payload``, or None."""
+    value = payload.get(DEADLINE_KEY)
+    return float(value) if value is not None else None
+
+
+def stamp(payload: Dict[str, Any], deadline: float) -> Dict[str, Any]:
+    """Stamp an absolute deadline, keeping any earlier (tighter) one."""
+    existing = deadline_of(payload)
+    if existing is None or deadline < existing:
+        payload[DEADLINE_KEY] = deadline
+    return payload
+
+
+def expired(sim: Any, payload: Dict[str, Any]) -> bool:
+    """True when the payload carries a deadline that has already passed."""
+    deadline = payload.get(DEADLINE_KEY)
+    return deadline is not None and sim.now > deadline
+
+
+def remaining(sim: Any, payload: Dict[str, Any]) -> Optional[float]:
+    """Budget left before the carried deadline (None = unbounded; never
+    negative — an expired deadline reports 0.0)."""
+    deadline = payload.get(DEADLINE_KEY)
+    if deadline is None:
+        return None
+    return max(0.0, float(deadline) - sim.now)

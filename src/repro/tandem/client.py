@@ -69,8 +69,7 @@ class AppClient:
             raise TransactionAborted(txn.id, "aborted during prepare")
         yield from self.endpoint.call(
             self.system.adp.name, "COMMIT", {"txn": txn.id},
-            timeout=self.system.config.rpc_timeout,
-            retries=self.system.config.rpc_retries,
+            policy=self.system.config.call_policy(),
         )
         yield from self._fan_out(txn, "APPLY")
         self.sim.metrics.observe("tandem.commit_latency", self.sim.now - start)
@@ -126,7 +125,7 @@ class AppClient:
             try:
                 result = yield from self.endpoint.call(
                     target, verb, dict(payload),
-                    timeout=self.system.config.rpc_timeout, retries=0,
+                    policy=self.system.config.call_policy(retries=0),
                 )
                 return result
             except TimeoutError_ as exc:

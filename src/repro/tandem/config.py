@@ -4,8 +4,10 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.errors import SimulationError
+from repro.resilience import RetryPolicy
 
 
 class DPMode(str, enum.Enum):
@@ -39,3 +41,17 @@ class TandemConfig:
             raise SimulationError("need at least one disk process pair")
         if self.group_commit_timer < 0:
             raise SimulationError("negative group commit timer")
+
+    def call_policy(self, retries: Optional[int] = None) -> RetryPolicy:
+        """The RPC discipline derived from the timing knobs: Tandem's
+        requester-based recovery retries on a fixed timer (the takeover
+        machinery, not backoff, handles a dead pair). ``retries``
+        overrides the configured count (0 = single attempt)."""
+        count = self.rpc_retries if retries is None else retries
+        cache = self.__dict__.setdefault("_policy_cache", {})
+        policy = cache.get(count)
+        if policy is None or policy.timeout != self.rpc_timeout:
+            policy = cache[count] = RetryPolicy(
+                max_attempts=count + 1, timeout=self.rpc_timeout
+            )
+        return policy

@@ -146,8 +146,7 @@ class DiskProcessPair:
                     self._peer_of(endpoint.name),
                     "CHECKPOINT",
                     {"txn": txn_id, "key": key, "value": value},
-                    timeout=self.config.rpc_timeout,
-                    retries=self.config.rpc_retries,
+                    policy=self.config.call_policy(),
                 )
             self.sim.metrics.inc(f"tandem.{self.name}.checkpoints")
         else:
@@ -179,7 +178,7 @@ class DiskProcessPair:
             if records:
                 yield from endpoint.call(
                     self.adp_name, "LOG", {"source": self.name, "records": records},
-                    timeout=self.config.rpc_timeout, retries=self.config.rpc_retries,
+                    policy=self.config.call_policy(),
                 )
         else:
             target_lsn = (
@@ -199,7 +198,7 @@ class DiskProcessPair:
             if self.backup_alive:
                 yield from endpoint.call(
                     self._peer_of(endpoint.name), "CP_APPLY", {"txn": txn_id},
-                    timeout=self.config.rpc_timeout, retries=self.config.rpc_retries,
+                    policy=self.config.call_policy(),
                 )
         else:
             state.log_buffer.append(
@@ -215,7 +214,7 @@ class DiskProcessPair:
             if self.backup_alive:
                 yield from endpoint.call(
                     self._peer_of(endpoint.name), "CP_ABORT", {"txn": txn_id},
-                    timeout=self.config.rpc_timeout, retries=self.config.rpc_retries,
+                    policy=self.config.call_policy(),
                 )
         else:
             state.log_buffer.append(
@@ -292,8 +291,7 @@ class DiskProcessPair:
                         endpoint.call(
                             self.adp_name, "LOG",
                             {"source": self.name, "records": batch},
-                            timeout=self.config.rpc_timeout,
-                            retries=self.config.rpc_retries,
+                            policy=self.config.call_policy(),
                         ),
                         name=f"{self.name}.ship.adp",
                     )
@@ -304,8 +302,7 @@ class DiskProcessPair:
                             endpoint.call(
                                 self._peer_of(endpoint.name), "SHIP",
                                 {"records": batch},
-                                timeout=self.config.rpc_timeout,
-                                retries=self.config.rpc_retries,
+                                policy=self.config.call_policy(),
                             ),
                             name=f"{self.name}.ship.backup",
                         )

@@ -171,6 +171,62 @@ def test_stop_fails_outstanding_calls():
     assert sim.run_process(run()) == "timed out"
 
 
+def test_restart_is_idempotent():
+    """A double restart must not leave two serve loops racing on one
+    mailbox: restarting a serving endpoint is a no-op."""
+    sim, _net, server, client = setup_pair()
+    calls = []
+
+    @server.on("do")
+    def do(_ep, msg):
+        calls.append(msg.payload["uniquifier"])
+        return {}
+
+    def run():
+        serving = server._proc
+        server.restart()                       # already serving: no-op
+        assert server._proc is serving
+        server.stop("crash")
+        server.restart()
+        restarted = server._proc
+        server.restart()                       # second restart: no-op
+        assert server._proc is restarted
+        yield from client.call("server", "do", timeout=2.0)
+        return len(calls)
+
+    assert sim.run_process(run()) == 1         # exactly one serve loop answered
+
+
+def test_stop_interrupts_inflight_handlers():
+    """Fail-fast: a crash mid-handler kills the work — the side effect
+    after the yield never happens and no reply is ever sent."""
+    sim, _net, server, client = setup_pair()
+    completed = []
+
+    @server.on("slow")
+    def slow(_ep, _msg):
+        yield Timeout(2.0)
+        completed.append(1)
+        return {}
+
+    def run():
+        try:
+            yield from client.call("server", "slow", timeout=10.0, retries=0)
+        except Exception:
+            pass
+
+    def crasher():
+        yield Timeout(1.0)
+        assert server.inflight_handlers == 1
+        server.stop("dead")
+        assert server.inflight_handlers == 0
+
+    sim.spawn(crasher())
+    sim.spawn(run())
+    sim.run(until=20.0)
+    assert completed == []
+
+
 def test_cast_fire_and_forget():
     sim, _net, server, client = setup_pair()
     seen = []
