@@ -1,0 +1,57 @@
+"""Repo-wide pytest configuration: a per-test wall-clock cap.
+
+A deterministic simulator's failure mode for a bug in event wiring is an
+infinite event loop — the suite hangs instead of failing. The cap turns
+a hang into a loud failure. When the ``pytest-timeout`` plugin is
+installed it owns the job (configured via ``timeout`` in pyproject);
+otherwise this shim enforces the same ``timeout`` ini value with
+``SIGALRM`` on platforms that have it, and stays out of the way
+everywhere else.
+"""
+
+import signal
+
+import pytest
+
+try:
+    import pytest_timeout  # noqa: F401
+    _HAVE_PLUGIN = True
+except ImportError:
+    _HAVE_PLUGIN = False
+
+_HAVE_SIGALRM = hasattr(signal, "SIGALRM")
+
+
+def pytest_addoption(parser):
+    if _HAVE_PLUGIN:
+        return  # the real plugin registers the ini option itself
+    parser.addini(
+        "timeout",
+        "per-test wall-clock cap in seconds (SIGALRM fallback shim)",
+        default="0",
+    )
+
+
+@pytest.hookimpl(wrapper=True)
+def pytest_runtest_call(item):
+    if _HAVE_PLUGIN or not _HAVE_SIGALRM:
+        return (yield)
+    try:
+        seconds = float(item.config.getini("timeout") or 0)
+    except (TypeError, ValueError):
+        seconds = 0.0
+    if seconds <= 0:
+        return (yield)
+
+    def on_alarm(_signum, _frame):
+        raise TimeoutError(
+            f"{item.nodeid} exceeded the {seconds:g}s per-test cap"
+        )
+
+    previous = signal.signal(signal.SIGALRM, on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        return (yield)
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)

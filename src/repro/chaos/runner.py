@@ -32,6 +32,7 @@ from repro.chaos.plan import (
     PartitionEpisode,
 )
 from repro.chaos.retrystorm import RetryStormScenario
+from repro.chaos.splitbrain import SplitBrainScenario
 from repro.chaos.scenarios import (
     BankClearingScenario,
     CartDynamoScenario,
@@ -257,6 +258,7 @@ _SCENARIOS: dict = {
     "bank": BankClearingScenario,
     "cart": CartDynamoScenario,
     "retry-storm": RetryStormScenario,
+    "split-brain": SplitBrainScenario,
 }
 
 
@@ -346,6 +348,31 @@ def smoke(seeds: Sequence[int], report_path: Optional[str] = None) -> int:
         if storm.failures:
             print(f"FAIL: {storm_policy} retry-storm policy violated an invariant")
             failed = True
+
+    # Fenced automatic takeover survives the split-brain ambiguity...
+    fenced_scenario = SplitBrainScenario(policy="fenced")
+    fenced = _sweep(fenced_scenario, seeds)
+    entries.append(_report_entry(fenced_scenario, fenced))
+    if fenced.failures:
+        print("FAIL: fenced split-brain policy violated an invariant")
+        failed = True
+
+    # ...and the unfenced ablation must be caught losing updates, with
+    # the shrunk plan replaying exactly — like the amnesiac bank below.
+    unfenced_scenario = SplitBrainScenario(policy="unfenced")
+    unfenced = ChaosRunner(unfenced_scenario).sweep(seeds)
+    entries.append(_report_entry(unfenced_scenario, unfenced))
+    print(f"[{unfenced_scenario.name}] policy=unfenced "
+          f"runs={unfenced.runs} failing={len(unfenced.failures)} "
+          f"violation_rate={unfenced.violation_rate:.2f}")
+    for case in unfenced.failures:
+        _print_failure(case)
+    if not unfenced.failures:
+        print("FAIL: unfenced split-brain policy was not caught")
+        failed = True
+    if any(not case.replay_matches for case in unfenced.failures):
+        print("FAIL: a minimal split-brain plan did not replay bit-for-bit")
+        failed = True
 
     broken_scenario = BankClearingScenario(policy="amnesiac-restart")
     broken = ChaosRunner(

@@ -1,39 +1,104 @@
-"""A (perfect) membership view over a set of nodes.
+"""A membership view over a set of nodes — perfect or detector-driven.
 
-Real systems learn liveness through failure detectors; the paper abstracts
-that away, and so do we: membership reads node state directly. What the
-paper *does* care about — acting on stale knowledge — is modelled where it
-matters, in the replicas' data paths, not in the detector.
+Real systems learn liveness through failure detectors; the seed of this
+repo abstracted that away and read node state directly. Both views now
+coexist:
+
+- **Registry truth**: a member backed by a :class:`Node` defaults to
+  that node's ``up`` flag — the omniscient view experiments use when
+  liveness is not what they are studying.
+- **Detector overrides**: :meth:`mark_down` / :meth:`mark_up` record a
+  *believed* liveness that shadows registry truth. A
+  :class:`~repro.failover.detector.FailureDetector` bound via
+  ``detector.bind_membership(membership)`` drives these from convictions
+  and contradictions — so the view can be wrong, which is the point.
+
+:meth:`live_view` hands out the ``is_alive`` predicate in the shape the
+dynamo ring's ``preference_list(alive=...)`` walk expects.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List
+from typing import Callable, Dict, Iterable, Iterator, List, Optional
 
 from repro.cluster.node import Node
 from repro.errors import SimulationError
 
 
 class Membership:
-    """Tracks a named set of nodes and answers who is up."""
+    """Tracks a named set of members and answers who is (believed) up."""
 
-    def __init__(self, nodes: Dict[str, Node]) -> None:
-        self._nodes: Dict[str, Node] = dict(nodes)
+    def __init__(self, nodes: Optional[Dict[str, Node]] = None) -> None:
+        self._nodes: Dict[str, Optional[Node]] = dict(nodes or {})
+        self._overrides: Dict[str, bool] = {}
+
+    @classmethod
+    def of_names(cls, names: Iterable[str]) -> "Membership":
+        """A membership of bare names (no backing nodes): liveness comes
+        entirely from detector overrides, defaulting to up."""
+        membership = cls()
+        for name in names:
+            membership.add_name(name)
+        return membership
+
+    # ------------------------------------------------------------------
+    # Membership changes
 
     def add(self, node: Node) -> None:
         if node.name in self._nodes:
             raise SimulationError(f"duplicate member {node.name!r}")
         self._nodes[node.name] = node
 
+    def add_name(self, name: str) -> None:
+        """Add a member with no backing node."""
+        if name in self._nodes:
+            raise SimulationError(f"duplicate member {name!r}")
+        self._nodes[name] = None
+
+    def remove(self, name: str) -> None:
+        """Remove a member entirely (decommission, not failure)."""
+        if name not in self._nodes:
+            raise SimulationError(f"unknown member {name!r}")
+        del self._nodes[name]
+        self._overrides.pop(name, None)
+
+    # ------------------------------------------------------------------
+    # Believed liveness
+
+    def mark_down(self, name: str) -> None:
+        """Record a belief that ``name`` is down (a detector conviction).
+        Shadows registry truth until :meth:`mark_up` clears it."""
+        if name not in self._nodes:
+            raise SimulationError(f"unknown member {name!r}")
+        self._overrides[name] = False
+
+    def mark_up(self, name: str) -> None:
+        """Clear any down-belief: liveness reverts to registry truth (or
+        up, for members with no backing node)."""
+        if name not in self._nodes:
+            raise SimulationError(f"unknown member {name!r}")
+        self._overrides.pop(name, None)
+
     def alive(self) -> List[str]:
-        """Names of up nodes, in stable (insertion) order."""
-        return [name for name, node in self._nodes.items() if node.up]
+        """Names of (believed) up members, in stable (insertion) order."""
+        return [name for name in self._nodes if self.is_alive(name)]
 
     def is_alive(self, name: str) -> bool:
-        return name in self._nodes and self._nodes[name].up
+        if name not in self._nodes:
+            return False
+        if name in self._overrides:
+            return self._overrides[name]
+        node = self._nodes[name]
+        return True if node is None else node.up
+
+    def live_view(self) -> Callable[[str], bool]:
+        """The ``alive`` predicate for ring walks and placement."""
+        return self.is_alive
+
+    # ------------------------------------------------------------------
 
     def node(self, name: str) -> Node:
-        if name not in self._nodes:
+        if name not in self._nodes or self._nodes[name] is None:
             raise SimulationError(f"unknown member {name!r}")
         return self._nodes[name]
 
@@ -44,4 +109,6 @@ class Membership:
         return len(self._nodes)
 
     def __iter__(self) -> Iterator[Node]:
-        return iter(self._nodes.values())
+        return iter(
+            node for node in self._nodes.values() if node is not None
+        )

@@ -53,6 +53,23 @@ class BreakerOpenError(QuicksandError):
         self.dst = dst
 
 
+class StaleEpochError(QuicksandError):
+    """An operation carried a fencing token from a deposed regime.
+
+    Takeover is a guess (§2–3: a backup cannot distinguish a dead
+    primary from a slow one). When the guess is wrong, the old primary
+    is still alive and still writing; fencing makes its traffic *bounce*
+    — rejected with this error — instead of silently clobbering the new
+    regime's state. The bounced work becomes an explicit apology, not a
+    lost update.
+    """
+
+    def __init__(self, detail: str = "", epoch: int = 0, current: int = 0) -> None:
+        super().__init__(detail or f"epoch {epoch} is fenced (current {current})")
+        self.epoch = epoch
+        self.current = current
+
+
 class InterruptError(QuicksandError):
     """A simulated process was interrupted (e.g. by a crash or a kill)."""
 

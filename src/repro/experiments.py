@@ -100,6 +100,14 @@ EXPERIMENTS: Tuple[Experiment, ...] = (
         "benchmarks/bench_e13_retry_storm.py",
     ),
     Experiment(
+        "E14", "Fenced vs unfenced automatic takeover",
+        "§2–3: a backup cannot distinguish a slow primary from a dead one; "
+        "automatic takeover on a false conviction loses acked updates unless "
+        "the new regime's epoch fences out the deposed primary's traffic",
+        ("repro.failover", "repro.logship", "repro.chaos.splitbrain"),
+        "benchmarks/bench_e14_split_brain.py",
+    ),
+    Experiment(
         "A1", "Hinted handoff availability",
         "§6.1: sloppy quorum keeps PUTs available past strict-quorum failure",
         ("repro.dynamo",), "benchmarks/bench_a01_hinted_handoff.py",

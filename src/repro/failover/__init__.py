@@ -1,0 +1,55 @@
+"""Failure detection, leases, and fenced takeover (§2–3).
+
+The paper's takeover story rests on an uncomfortable fact: a backup
+**cannot distinguish a dead primary from a slow one**. Everything in
+this package flows from taking that seriously instead of modelling it
+away:
+
+- :class:`HeartbeatEmitter` — a per-node process that casts periodic
+  heartbeats over the (partitionable, lossy) fabric. Silence is the
+  only failure signal anyone gets.
+- :class:`FailureDetector` — accrues suspicion from *observed heartbeat
+  gaps*, never from registry truth. Two variants:
+  :class:`FixedTimeoutDetector` (suspicion = gap / timeout) and
+  :class:`PhiAccrualDetector` (Hayashibara-style phi over the observed
+  inter-arrival distribution). A conviction is a guess; when a convicted
+  node later speaks, the detector records the contradiction — the
+  measured false-takeover rate of experiment E14.
+- :class:`Lease` / :class:`LeaseManager` — sim-time leases whose grants
+  mint monotonically increasing **epoch (fencing) tokens**. The token,
+  not the conviction, is what makes a wrong guess safe: apply paths
+  reject traffic from older epochs.
+- :class:`FailoverController` — promotes the successor when the detector
+  convicts the primary, granting it a fresh lease and handing the epoch
+  to the promotion callback.
+- :class:`LogshipFailover` — the wired-up stack for
+  :class:`~repro.logship.system.LogShippingSystem`: heartbeats from the
+  serving site, a monitor endpoint on the backup side, automatic
+  ``take_over`` on conviction (fenced or, for the E14 ablation,
+  unfenced).
+
+Everything is seeded/deterministic on sim time: no detector process
+draws RNG unless jitter is explicitly configured, and none of it exists
+unless explicitly installed — default runs (and the golden traces) are
+byte-for-byte unchanged.
+"""
+
+from repro.failover.detector import (
+    FailureDetector,
+    FixedTimeoutDetector,
+    PhiAccrualDetector,
+)
+from repro.failover.heartbeat import HeartbeatEmitter
+from repro.failover.lease import Lease, LeaseManager
+from repro.failover.controller import FailoverController, LogshipFailover
+
+__all__ = [
+    "FailureDetector",
+    "FixedTimeoutDetector",
+    "PhiAccrualDetector",
+    "HeartbeatEmitter",
+    "Lease",
+    "LeaseManager",
+    "FailoverController",
+    "LogshipFailover",
+]

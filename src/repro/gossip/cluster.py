@@ -27,6 +27,7 @@ class GossipCluster:
         message_latency: float = 0.005,
         rules_factory: Optional[Callable[[], RuleEngine]] = None,
         sim: Optional[Simulator] = None,
+        skip_unreachable: bool = False,
     ) -> None:
         if num_replicas < 1:
             raise SimulationError("need at least one replica")
@@ -47,7 +48,8 @@ class GossipCluster:
                 clock=lambda: self.sim.now,
             )
             self.nodes[name] = GossipNode(
-                self.network, replica, peers=names, period=period
+                self.network, replica, peers=names, period=period,
+                skip_unreachable=skip_unreachable,
             )
 
     # ------------------------------------------------------------------

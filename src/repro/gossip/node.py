@@ -49,6 +49,7 @@ class GossipNode:
         peers: Sequence[str],
         period: float = 1.0,
         policy: Optional[RetryPolicy] = None,
+        skip_unreachable: bool = False,
     ) -> None:
         self.network = network
         self.sim = network.sim
@@ -56,6 +57,7 @@ class GossipNode:
         self.peers = [p for p in peers if p != replica.name]
         self.period = period
         self.policy = policy or GOSSIP_POLICY
+        self.skip_unreachable = skip_unreachable
         self.endpoint = Endpoint(network, replica.name)
         self.endpoint.register("DIGEST", self._handle_digest)
         self.endpoint.register("OPS", self._handle_ops)
@@ -125,6 +127,18 @@ class GossipNode:
                 continue
             peer = rng.choice(self.peers)
             self.rounds_attempted += 1
+            if self.skip_unreachable and not self.network.reachable(
+                self.replica.name, peer
+            ):
+                # Don't burn a round timing out on a peer we already know
+                # we can't reach; count the skip so convergence accounting
+                # still sees the missed exchange.
+                self.rounds_failed += 1
+                self.sim.metrics.inc("gossip.skipped_unreachable")
+                self.sim.trace.emit(
+                    self.replica.name, "gossip.skip_unreachable", peer=peer
+                )
+                continue
             try:
                 yield from self.exchange_with(peer)
             except (TimeoutError_, RpcError):

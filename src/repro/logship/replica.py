@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Generator, List, Set
 
+from repro.errors import CrashedError, StaleEpochError
 from repro.net.network import Network
 from repro.net.rpc import Endpoint
 from repro.sim.scheduler import Simulator
@@ -41,17 +42,42 @@ class DatabaseReplica:
         self.committed_local: Set[str] = set()   # txns this site decided
         self.applied_txns: Set[str] = set()      # txns applied (own + replayed)
         self.shipped_lsn = 0                     # how far we've shipped to the peer
+        self.epoch = 0                           # fencing token of our own regime
+        self.fenced_below = 0                    # reject traffic older than this
+        self.crashed = False
         self._staged: Dict[str, Dict[Any, Any]] = {}
         self.endpoint = Endpoint(network, name)
         self.endpoint.register("SHIP", self._handle_ship)
         self.endpoint.register("GET", self._handle_get)
+        self.endpoint.register("FENCE", self._handle_fence)
         self.endpoint.start()
+
+    # ------------------------------------------------------------------
+    # Fencing
+
+    @property
+    def deposed(self) -> bool:
+        """True once a newer regime's token has fenced this site: its own
+        epoch is below the minimum it will accept."""
+        return self.fenced_below > self.epoch
+
+    def fence(self, epoch: int) -> None:
+        """Refuse, from now on, any traffic stamped below ``epoch``."""
+        self.fenced_below = max(self.fenced_below, epoch)
 
     # ------------------------------------------------------------------
     # Serving side
 
     def commit_transaction(self, txn_id: str, writes: Dict[Any, Any]) -> Generator[Any, Any, None]:
         """Log + flush one transaction locally. Idempotent by txn_id."""
+        if self.crashed:
+            raise CrashedError(f"{self.name} is crashed")
+        if self.deposed:
+            raise StaleEpochError(
+                f"{self.name} is deposed: epoch {self.epoch} "
+                f"fenced below {self.fenced_below}",
+                epoch=self.epoch, current=self.fenced_below,
+            )
         if txn_id in self.applied_txns:
             return
         for key, value in writes.items():
@@ -79,6 +105,17 @@ class DatabaseReplica:
     # Replay side
 
     def _handle_ship(self, _ep: Endpoint, msg: Any) -> Dict[str, Any]:
+        sender_epoch = msg.payload.get("epoch", 0)
+        if sender_epoch < self.fenced_below:
+            # A deposed regime is still shipping. Do not apply a single
+            # record — tell it which regime it lost to instead.
+            self.sim.metrics.inc(f"logship.{self.name}.fenced_batches")
+            self.sim.trace.emit(
+                self.name, "ship.rejected",
+                epoch=sender_epoch, fenced_below=self.fenced_below,
+                records=len(msg.payload["records"]),
+            )
+            return {"fenced": True, "epoch": self.fenced_below}
         for record in msg.payload["records"]:
             self.replay_record(record)
         self.sim.metrics.inc(f"logship.{self.name}.ship_batches")
@@ -99,6 +136,10 @@ class DatabaseReplica:
     def _handle_get(self, _ep: Endpoint, msg: Any) -> Dict[str, Any]:
         return {"value": self.state.get(msg.payload["key"])}
 
+    def _handle_fence(self, _ep: Endpoint, msg: Any) -> Dict[str, Any]:
+        self.fence(msg.payload["epoch"])
+        return {"epoch": self.fenced_below}
+
     # ------------------------------------------------------------------
     # Failure
 
@@ -108,7 +149,9 @@ class DatabaseReplica:
         durable-but-unshipped tail is what gets *locked up* (§5.1)."""
         self.wal.lose_volatile()
         self._staged.clear()
+        self.crashed = True
         self.endpoint.stop("crash")
 
     def restart(self) -> None:
+        self.crashed = False
         self.endpoint.restart()

@@ -23,10 +23,10 @@ import enum
 import itertools
 from typing import Any, Dict, Generator, List, Optional, Set
 
-from repro.errors import CrashedError, SimulationError
+from repro.errors import CrashedError, SimulationError, TimeoutError_
 from repro.net.latency import ExponentialLatency, FixedLatency, LatencyModel
 from repro.net.network import LinkConfig, Network
-from repro.net.rpc import Endpoint
+from repro.net.rpc import Endpoint, RpcError
 from repro.resilience import RetryPolicy
 from repro.sim.events import Timeout
 from repro.sim.scheduler import Simulator
@@ -73,11 +73,18 @@ class LogShippingSystem:
         }
         self.network.set_link("east", "west", LinkConfig(latency=wan))
         self.serving = "east"
+        self.epoch = 0
         self.failover_time: Optional[float] = None
-        self._ship_lock = Lock(self.sim, name="ship")
-        self._shipper_proc = None
-        self._work_available = self.sim.event("logship.work")
-        self._peer_back = self.sim.event("logship.peer_back")
+        self._ship_locks = {
+            name: Lock(self.sim, name=f"ship.{name}") for name in self.sites
+        }
+        self._shipper_procs: Dict[str, Any] = {name: None for name in self.sites}
+        self._work_available = {
+            name: self.sim.event(f"logship.work.{name}") for name in self.sites
+        }
+        self._peer_back = {
+            name: self.sim.event(f"logship.peer_back.{name}") for name in self.sites
+        }
         self._txn_ids = itertools.count(1)
         self.client = Endpoint(self.network, "lsclient")
         self.client.start()
@@ -105,14 +112,28 @@ class LogShippingSystem:
     def submit(self, writes: Dict[Any, Any], txn_id: Optional[str] = None) -> Generator[Any, Any, str]:
         """Run one transaction at the serving site; returns its id once the
         client would consider it committed."""
+        result = yield from self.submit_to(self.serving, writes, txn_id)
+        return result
+
+    def submit_to(self, site: str, writes: Dict[Any, Any], txn_id: Optional[str] = None) -> Generator[Any, Any, str]:
+        """Run one transaction at a *specific* site. This is how a client
+        that still believes in a deposed primary behaves: under fencing
+        the commit raises :class:`StaleEpochError` once the site learns it
+        lost; without fencing the deposed site happily keeps acking."""
         txn_id = txn_id or f"txn-{next(self._txn_ids)}"
         start = self.sim.now
-        primary = self.primary
-        yield from primary.commit_transaction(txn_id, writes)
+        replica = self.sites[site]
+        yield from replica.commit_transaction(txn_id, writes)
         if self.mode is ShipMode.SYNC:
-            yield from self._ship_once()
+            shipped = yield from self._ship_once(site)
+            if shipped is None:
+                # SYNC's promise is "nothing acked is unshipped" — when the
+                # peer is unreachable (or we are fenced) we just broke it.
+                # Historically this degradation was silent; now it counts.
+                self.sim.metrics.inc("logship.sync_degraded")
+                self.sim.trace.emit("logship", "sync_degraded", site=site)
         else:
-            self._kick_shipper()
+            self._kick_shipper(site)
         self.sim.metrics.observe("logship.commit_latency", self.sim.now - start)
         self.sim.metrics.inc("logship.acked_commits")
         return txn_id
@@ -125,71 +146,162 @@ class LogShippingSystem:
     # ------------------------------------------------------------------
     # Shipping
 
-    def _start_shipper(self) -> None:
-        self._shipper_proc = self.sim.spawn(self._ship_loop(), name="shipper")
+    def _start_shipper(self, site: Optional[str] = None) -> None:
+        site = site or self.serving
+        proc = self._shipper_procs.get(site)
+        if proc is not None and proc.alive:
+            return
+        self._shipper_procs[site] = self.sim.spawn(
+            self._ship_loop(site), name=f"shipper:{site}"
+        )
 
-    def _kick_shipper(self) -> None:
-        """Tell the shipper there is unshipped work (event-driven so an
-        idle system's event heap drains)."""
-        if not self._work_available.triggered:
-            self._work_available.trigger(None)
+    def _kick_shipper(self, site: Optional[str] = None) -> None:
+        """Tell a site's shipper there is unshipped work (event-driven so
+        an idle system's event heap drains)."""
+        site = site or self.serving
+        if not self._work_available[site].triggered:
+            self._work_available[site].trigger(None)
 
-    def _ship_loop(self) -> Generator[Any, Any, None]:
+    def _ship_loop(self, site: str) -> Generator[Any, Any, None]:
+        replica = self.sites[site]
         while True:
-            if not self.network.is_attached(self._peer(self.serving)):
-                # The backup is down: nothing to do until it returns.
-                self._peer_back = self.sim.event("logship.peer_back")
-                yield self._peer_back
-            if not self.primary.unshipped_records():
-                self._work_available = self.sim.event("logship.work")
-                yield self._work_available
+            if replica.deposed:
+                # Fenced out: a newer regime owns the pair. Stop shipping.
+                return
+            if not self.network.is_attached(self._peer(site)):
+                # The peer is down: nothing to do until it returns.
+                self._peer_back[site] = self.sim.event(f"logship.peer_back.{site}")
+                yield self._peer_back[site]
+            if not replica.unshipped_records():
+                self._work_available[site] = self.sim.event(f"logship.work.{site}")
+                yield self._work_available[site]
             yield Timeout(self.ship_interval)
             try:
-                yield from self._ship_once()
+                yield from self._ship_once(site)
             except CrashedError:
                 return
+            except (TimeoutError_, RpcError):
+                # Peer attached but unreachable (a partition, not a crash):
+                # keep the records and keep trying.
+                self.sim.metrics.inc("logship.ship_failures")
 
-    def _ship_once(self) -> Generator[Any, Any, None]:
+    def _ship_once(self, site: Optional[str] = None) -> Generator[Any, Any, Optional[int]]:
         """Ship the durable-but-unshipped tail to the peer and advance the
-        cursor on ack. Serialized: one batch in flight."""
-        yield self._ship_lock.acquire()
+        cursor on ack. Serialized per site: one batch in flight.
+
+        Returns the record count shipped, ``0`` when there was nothing to
+        ship, or ``None`` when shipping was *degraded*: records pending
+        but the peer detached, or the batch bounced off a fence.
+        """
+        site = site or self.serving
+        yield self._ship_locks[site].acquire()
         try:
-            primary = self.primary
-            records = primary.unshipped_records()
+            replica = self.sites[site]
+            records = replica.unshipped_records()
             if not records:
-                return
-            peer = self._peer(self.serving)
+                return 0
+            peer = self._peer(site)
             if not self.network.is_attached(peer):
-                return
-            yield from primary.endpoint.call(
-                peer, "SHIP", {"records": records}, policy=SHIP_POLICY
+                return None
+            reply = yield from replica.endpoint.call(
+                peer,
+                "SHIP",
+                {"records": records, "epoch": replica.epoch},
+                policy=SHIP_POLICY,
             )
-            primary.shipped_lsn = records[-1]["lsn"]
+            if reply.get("fenced"):
+                # The peer belongs to a newer regime; our records are from
+                # a deposed one and were not applied.
+                replica.fence(reply["epoch"])
+                self.sim.metrics.inc("logship.stale_epoch_rejected", len(records))
+                self.sim.trace.emit(
+                    "logship", "ship.fenced",
+                    site=site, epoch=replica.epoch,
+                    fenced_below=reply["epoch"], records=len(records),
+                )
+                return None
+            replica.shipped_lsn = records[-1]["lsn"]
             self.sim.metrics.inc("logship.shipped_records", len(records))
+            return len(records)
         finally:
-            self._ship_lock.release()
+            self._ship_locks[site].release()
 
     # ------------------------------------------------------------------
     # Fail-over and resurrection
 
+    def adopt_epoch(self, epoch: int) -> None:
+        """Stamp the serving site's current regime with a fencing token
+        (called once when a failover stack installs itself)."""
+        self.epoch = max(self.epoch, epoch)
+        self.primary.epoch = max(self.primary.epoch, epoch)
+
     def fail_over(self) -> Dict[str, Any]:
-        """Crash the serving site; the backup takes over. Returns loss
-        accounting: which acked transactions are locked in the old
-        primary, invisible to the new one."""
-        old = self.primary
-        new = self.backup
-        if self._shipper_proc is not None:
-            self._shipper_proc.interrupt("failover")
-        old.crash()
-        self.serving = self._peer(self.serving)
+        """God-mode fail-over, kept for experiments that *want* omniscient
+        failure injection: crash the serving site (a forced conviction
+        that happens to be correct by construction), then promote."""
+        old_name = self.serving
+        proc = self._shipper_procs.get(old_name)
+        if proc is not None:
+            proc.interrupt("failover")
+            self._shipper_procs[old_name] = None
+        self.sites[old_name].crash()
+        return self.take_over(fenced=True, cause="forced")
+
+    def take_over(
+        self,
+        *,
+        fenced: bool = True,
+        epoch: Optional[int] = None,
+        cause: str = "conviction",
+    ) -> Dict[str, Any]:
+        """Promote the backup — WITHOUT touching the old primary.
+
+        This is what an automatic failover can actually do: the conviction
+        behind it is a guess, the old primary may be alive behind a
+        partition, and nobody can reach over and crash it. ``fenced=True``
+        arms the new primary with the regime's epoch so the old one's
+        traffic bounces; ``fenced=False`` is the §5.1 hazard on purpose.
+
+        Returns ``in_doubt`` accounting: acked transactions the new
+        primary has never seen. With a real crash they are lost; with a
+        slow-not-dead primary they are merely locked up until recovery.
+        """
+        old_name = self.serving
+        old = self.sites[old_name]
+        new_name = self._peer(old_name)
+        new = self.sites[new_name]
+        crashed = old.crashed
+        self.serving = new_name
         self.failover_time = self.sim.now
-        lost = sorted(old.committed_local - new.applied_txns)
+        new_epoch = (
+            epoch if epoch is not None
+            else max(self.epoch, old.epoch, new.epoch) + 1
+        )
+        self.epoch = new_epoch
+        new.epoch = new_epoch
+        if fenced:
+            new.fence(new_epoch)
+            if not crashed and self.network.is_attached(old_name):
+                # Best-effort courtesy: tell the deposed side it lost. The
+                # cast is dropped under the very partition that caused the
+                # conviction — apply-side rejection is the real guarantee.
+                new.endpoint.cast(old_name, "FENCE", {"epoch": new_epoch})
+        in_doubt = sorted(old.committed_local - new.applied_txns)
         self.sim.metrics.inc("logship.takeovers")
-        self.sim.metrics.inc("logship.lost_commits", len(lost))
-        self.sim.trace.emit("logship", "takeover", new_primary=self.serving, lost=len(lost))
+        if crashed:
+            self.sim.metrics.inc("logship.lost_commits", len(in_doubt))
+        else:
+            self.sim.metrics.inc("logship.in_doubt_commits", len(in_doubt))
+        self.sim.trace.emit(
+            "logship", "takeover", new_primary=self.serving, lost=len(in_doubt),
+        )
         if self.mode is ShipMode.ASYNC:
-            self._start_shipper()
-        return {"lost_txns": lost, "new_primary": self.serving}
+            self._start_shipper(new_name)
+        return {
+            "lost_txns": in_doubt,
+            "new_primary": self.serving,
+            "epoch": new_epoch,
+        }
 
     def recover_orphans(self, policy: str = "discard") -> Dict[str, Any]:
         """Bring the crashed site back and deal with its orphaned tail.
@@ -204,9 +316,9 @@ class LogShippingSystem:
             raise SimulationError(f"unknown recovery policy {policy!r}")
         dead = self.backup  # after fail_over, the crashed site is the peer
         dead.restart()
-        if not self._peer_back.triggered:
-            self._peer_back.trigger(None)
-        self._kick_shipper()
+        if not self._peer_back[self.serving].triggered:
+            self._peer_back[self.serving].trigger(None)
+        self._kick_shipper(self.serving)
         serving = self.primary
         orphan_txns = sorted(dead.committed_local - serving.applied_txns)
         clobbered: List[Any] = []

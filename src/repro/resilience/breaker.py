@@ -57,7 +57,7 @@ class CircuitBreaker:
     """One destination's breaker, owned by a caller endpoint."""
 
     __slots__ = ("sim", "owner", "dst", "config", "state", "failures",
-                 "successes", "probes_inflight", "opened_at")
+                 "successes", "probes_inflight", "opened_at", "last_probe_at")
 
     def __init__(self, sim: Any, owner: str, dst: str, config: BreakerConfig) -> None:
         self.sim = sim
@@ -69,6 +69,7 @@ class CircuitBreaker:
         self.successes = 0         # consecutive probe successes, half-open
         self.probes_inflight = 0
         self.opened_at = 0.0
+        self.last_probe_at = 0.0
 
     # ------------------------------------------------------------------
 
@@ -78,16 +79,27 @@ class CircuitBreaker:
         if self.state is BreakerState.CLOSED:
             return True
         if self.state is BreakerState.OPEN:
-            if self.sim.now - self.opened_at < self.config.recovery_time:
+            # Sum-form comparison on purpose: rounding is monotone under
+            # addition, so waiting exactly recovery_time always reopens,
+            # while (now - opened_at) can round below it and wedge.
+            if self.sim.now < self.opened_at + self.config.recovery_time:
                 self.sim.metrics.inc(f"resilience.breaker.{self.owner}.short_circuits")
                 return False
             self._transition(BreakerState.HALF_OPEN)
             self.successes = 0
             self.probes_inflight = 0
         if self.probes_inflight >= self.config.half_open_probes:
-            self.sim.metrics.inc(f"resilience.breaker.{self.owner}.short_circuits")
-            return False
+            if self.sim.now >= self.last_probe_at + self.config.recovery_time:
+                # Every outstanding probe is older than a full cool-off:
+                # whatever transport carried it has long since timed out
+                # without reporting back. Reclaim the slots, or abandoned
+                # probes wedge the breaker half-open forever.
+                self.probes_inflight = 0
+            else:
+                self.sim.metrics.inc(f"resilience.breaker.{self.owner}.short_circuits")
+                return False
         self.probes_inflight += 1
+        self.last_probe_at = self.sim.now
         return True
 
     def would_allow(self) -> bool:
@@ -96,7 +108,7 @@ class CircuitBreaker:
         and never transitions — casts carry no outcome to learn from."""
         if self.state is not BreakerState.OPEN:
             return True
-        return self.sim.now - self.opened_at >= self.config.recovery_time
+        return self.sim.now >= self.opened_at + self.config.recovery_time
 
     def record_success(self) -> None:
         if self.state is BreakerState.HALF_OPEN:

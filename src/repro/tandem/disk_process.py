@@ -331,13 +331,45 @@ class DiskProcessPair:
         Returns the transactions aborted by the takeover (empty for DP1).
         """
         old = self.current
-        old_state = self._states[old]
-        lost_records = len(old_state.log_buffer)
+        lost_records = len(self._states[old].log_buffer)
         self._endpoints[old].stop("crash")
         if self._ship_proc is not None:
             self._ship_proc.interrupt("crash")
         self._ship_scheduled = False
         self._ship_waiters = []
+        return self._promote(old, lost_records)
+
+    def take_over(self) -> List[int]:
+        """Promote the backup WITHOUT crashing the serving side — what the
+        backup of §3 actually does when the primary merely *seems* dead.
+
+        Unlike :meth:`crash_primary`, the old side's process stays alive;
+        it is fenced by construction, because every primary-side handler
+        guards on ``endpoint.name == self.current`` (I'm-Alive by
+        identity, not by epoch arithmetic). A deposed-but-alive primary's
+        WRITE/FLUSH/APPLY traffic raises at the guard instead of mutating
+        anything. Returns the transactions aborted by the takeover.
+        """
+        old = self.current
+        lost_records = len(self._states[old].log_buffer)
+        if self._ship_proc is not None:
+            self._ship_proc.interrupt("takeover")
+        self._ship_scheduled = False
+        # The old side's FLUSH riders are waiting on a bus that will never
+        # arrive now; fail them so their transactions abort cleanly
+        # instead of hanging forever.
+        waiters, self._ship_waiters = self._ship_waiters, []
+        for target_lsn, waiter in waiters:
+            if not waiter.triggered:
+                waiter.fail(SimulationError(
+                    f"{self.name}: takeover deposed the primary before "
+                    f"lsn {target_lsn} shipped"
+                ))
+        return self._promote(old, lost_records)
+
+    def _promote(self, old: str, lost_records: int) -> List[int]:
+        """Shared takeover tail: TMF aborts (DP2), backup recovery,
+        accounting. Keeps the exact event order of the original path."""
         aborted: List[int] = []
         if self.config.mode is DPMode.DP2:
             aborted = self.registry.abort_active_dirty_at(self.name)

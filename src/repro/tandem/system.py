@@ -67,6 +67,12 @@ class TandemSystem:
         """Crash the serving side of one pair; returns aborted txn ids."""
         return self.pair(pair_name).crash_primary()
 
+    def take_over(self, pair_name: str) -> List[int]:
+        """Promote one pair's backup without crashing the primary (a
+        suspected — possibly just slow — primary stays alive, fenced by
+        the primary guard). Returns aborted txn ids."""
+        return self.pair(pair_name).take_over()
+
     # ------------------------------------------------------------------
     # Invariant checks used by tests and experiments
 

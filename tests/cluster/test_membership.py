@@ -1,0 +1,114 @@
+"""Dynamic membership: registry truth, detector overrides, and the live
+view the dynamo ring walks."""
+
+import pytest
+
+from repro.cluster import Membership, Node
+from repro.dynamo.ring import HashRing
+from repro.errors import SimulationError
+from repro.failover import FixedTimeoutDetector
+from repro.sim import Simulator
+
+
+def make_nodes(names):
+    sim = Simulator(seed=0)
+    return sim, {name: Node(sim, name) for name in names}
+
+
+def test_node_backed_members_report_registry_truth():
+    sim, nodes = make_nodes(["a", "b", "c"])
+    membership = Membership(nodes)
+    assert membership.alive() == ["a", "b", "c"]
+    nodes["b"].crash()
+    assert membership.alive() == ["a", "c"]
+    nodes["b"].restart()
+    assert membership.alive() == ["a", "b", "c"]
+
+
+def test_overrides_shadow_registry_truth():
+    sim, nodes = make_nodes(["a", "b"])
+    membership = Membership(nodes)
+    membership.mark_down("a")             # believed dead, actually up
+    assert not membership.is_alive("a")
+    assert membership.alive() == ["b"]
+    membership.mark_up("a")               # belief cleared: truth again
+    assert membership.is_alive("a")
+    nodes["a"].crash()
+    assert not membership.is_alive("a")   # truth now says down
+
+
+def test_name_only_members_default_up():
+    membership = Membership.of_names(["x", "y"])
+    assert membership.alive() == ["x", "y"]
+    membership.mark_down("y")
+    assert membership.alive() == ["x"]
+    membership.mark_up("y")
+    assert membership.alive() == ["x", "y"]
+
+
+def test_add_remove_and_errors():
+    sim, nodes = make_nodes(["a"])
+    membership = Membership(nodes)
+    membership.add_name("b")
+    assert membership.all_names() == ["a", "b"]
+    assert len(membership) == 2
+    with pytest.raises(SimulationError):
+        membership.add(nodes["a"])        # duplicate
+    with pytest.raises(SimulationError):
+        membership.add_name("b")
+    membership.remove("b")
+    assert membership.all_names() == ["a"]
+    assert not membership.is_alive("b")   # gone means not alive
+    with pytest.raises(SimulationError):
+        membership.remove("b")
+    with pytest.raises(SimulationError):
+        membership.mark_down("nobody")
+    with pytest.raises(SimulationError):
+        membership.mark_up("nobody")
+    with pytest.raises(SimulationError):
+        membership.node("b")              # no backing node
+
+
+def test_remove_clears_override():
+    membership = Membership.of_names(["x"])
+    membership.mark_down("x")
+    membership.remove("x")
+    membership.add_name("x")
+    assert membership.is_alive("x")       # fresh member, fresh belief
+
+
+def test_iteration_yields_backing_nodes_only():
+    sim, nodes = make_nodes(["a", "b"])
+    membership = Membership(nodes)
+    membership.add_name("ghost")
+    assert sorted(n.name for n in membership) == ["a", "b"]
+    assert membership.node("a") is nodes["a"]
+
+
+def test_live_view_drives_preference_list():
+    membership = Membership.of_names(["n0", "n1", "n2", "n3", "n4"])
+    ring = HashRing(membership.all_names(), vnodes=8)
+    key = "cart-42"
+    intended = ring.preference_list(key, 3)
+    membership.mark_down(intended[0])     # the coordinator is believed dead
+    walked = ring.preference_list(key, 3, alive=membership.live_view())
+    assert intended[0] not in walked
+    assert len(walked) == 3               # the walk kept going past it
+
+
+def test_detector_binding_marks_down_and_back_up():
+    sim = Simulator(seed=0)
+    membership = Membership.of_names(["n1", "n2"])
+    detector = FixedTimeoutDetector(sim, ["n1", "n2"], timeout=0.5)
+    detector.bind_membership(membership)
+    detector.heartbeat("n1")
+    detector.heartbeat("n2")
+    detector.start(poll_interval=0.1)
+    for i in range(1, 6):                 # n2 keeps talking; n1 goes silent
+        sim.schedule_at(0.2 * i, detector.heartbeat, "n2")
+    sim.run(until=1.0)
+    detector.stop()
+    assert membership.alive() == ["n2"]
+    # The "corpse" speaks: the contradiction marks it back up.
+    detector.heartbeat("n1")
+    assert membership.alive() == ["n1", "n2"]

@@ -164,13 +164,15 @@ def test_never_half_opens_early(ops):
         before, opened_at = breaker.state, breaker.opened_at
         _drive(breaker, clock, op)
         if before is BreakerState.OPEN and breaker.state is not BreakerState.OPEN:
-            # The only way out of OPEN is the cool-off elapsing.
+            # The only way out of OPEN is the cool-off elapsing. Sum-form
+            # on both sides: (now - opened_at) can round below a cool-off
+            # that did fully elapse.
             assert breaker.state is BreakerState.HALF_OPEN
-            assert clock.now - opened_at >= CONFIG["recovery_time"]
+            assert clock.now >= opened_at + CONFIG["recovery_time"]
         if (
             op == "allow"
             and before is BreakerState.OPEN
-            and clock.now - opened_at < CONFIG["recovery_time"]
+            and clock.now < opened_at + CONFIG["recovery_time"]
         ):
             assert breaker.state is BreakerState.OPEN
         assert 0 <= breaker.probes_inflight <= CONFIG["half_open_probes"]
