@@ -23,6 +23,7 @@ from repro.chaos.plan import (
     LinkFaultEpisode,
     PartitionEpisode,
 )
+from repro.chaos.rejoin import RejoinScenario
 from repro.chaos.retrystorm import RetryStormScenario
 from repro.chaos.scenarios import (
     BankClearingScenario,
@@ -60,6 +61,7 @@ __all__ = [
     "InvariantMonitor",
     "LinkFaultEpisode",
     "PartitionEpisode",
+    "RejoinScenario",
     "RetryStormScenario",
     "SweepResult",
     "Violation",

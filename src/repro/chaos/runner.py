@@ -31,6 +31,7 @@ from repro.chaos.plan import (
     LinkFaultEpisode,
     PartitionEpisode,
 )
+from repro.chaos.rejoin import RejoinScenario
 from repro.chaos.retrystorm import RetryStormScenario
 from repro.chaos.splitbrain import SplitBrainScenario
 from repro.chaos.scenarios import (
@@ -257,6 +258,7 @@ class ChaosRunner:
 _SCENARIOS: dict = {
     "bank": BankClearingScenario,
     "cart": CartDynamoScenario,
+    "rejoin": RejoinScenario,
     "retry-storm": RetryStormScenario,
     "split-brain": SplitBrainScenario,
 }
@@ -337,6 +339,16 @@ def smoke(seeds: Sequence[int], report_path: Optional[str] = None) -> int:
     if cart.failures:
         print("FAIL: correct cart policy violated an invariant")
         failed = True
+
+    # Rolling cold restarts must lose no acked write under either rejoin
+    # discipline — the snapshot only changes how much crosses the wire.
+    for rejoin_policy in ("snapshot", "no-snapshot"):
+        rejoin_scenario = RejoinScenario(policy=rejoin_policy)
+        rejoin = _sweep(rejoin_scenario, seeds)
+        entries.append(_report_entry(rejoin_scenario, rejoin))
+        if rejoin.failures:
+            print(f"FAIL: {rejoin_policy} rejoin policy violated an invariant")
+            failed = True
 
     # A retry storm is a goodput catastrophe, not a correctness bug:
     # the invariants must hold under BOTH client disciplines (E13

@@ -70,6 +70,7 @@ class DynamoCluster:
         sim: Optional[Simulator] = None,
         hinted_handoff: bool = True,
         read_repair: bool = True,
+        snapshot_cadence: Optional[float] = None,
     ) -> None:
         if not 1 <= r <= n or not 1 <= w <= n or n > num_nodes:
             raise SimulationError(f"bad quorum config N={n} R={r} W={w}")
@@ -80,10 +81,15 @@ class DynamoCluster:
         self.n, self.r, self.w = n, r, w
         self.hinted_handoff = hinted_handoff
         self.read_repair = read_repair
+        self.snapshot_cadence = snapshot_cadence
         self.nodes: Dict[str, DynamoNode] = {
             f"node{i}": DynamoNode(self.sim, self.network, f"node{i}")
             for i in range(num_nodes)
         }
+        if snapshot_cadence is not None:
+            for node in self.nodes.values():
+                node.enable_snapshots(snapshot_cadence)
+                node.snapshotter.start()
         self.ring = HashRing(list(self.nodes), vnodes=16)
         self._client_ids = itertools.count(1)
         self._register_merkle_handlers()
@@ -99,6 +105,17 @@ class DynamoCluster:
 
     def restart(self, node_name: str) -> None:
         self.nodes[node_name].restart()
+
+    def cold_crash(self, node_name: str) -> int:
+        """Crash a node *losing its store* (vs :meth:`crash`, which models
+        the store as durable). Returns versions lost."""
+        return self.nodes[node_name].cold_crash()
+
+    def cold_restart(self, node_name: str) -> Generator[Any, Any, Dict[str, Any]]:
+        """Rejoin a cold-crashed node: snapshot seed, then the caller runs
+        handoff + Merkle rounds to close the remaining diff."""
+        result = yield from self.nodes[node_name].cold_restart()
+        return result
 
     def run_handoff_round(self) -> Generator[Any, Any, int]:
         """Drive one hint-delivery pass on every node; returns total

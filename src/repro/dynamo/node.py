@@ -2,12 +2,14 @@
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, Generator, List, Optional, Tuple
 
 from repro.net.network import Network
 from repro.net.rpc import Endpoint
 from repro.resilience import RetryPolicy
 from repro.sim.scheduler import Simulator
+from repro.storage.disk import Disk
+from repro.storage.snapshot import SnapshotStore, Snapshotter
 
 #: Hint delivery: one retry on a half-second timer. Undelivered hints
 #: stay queued for the next pass, so the pass cadence is the backoff.
@@ -29,6 +31,9 @@ class DynamoNode:
         self.name = name
         self.store: Dict[str, List[VersionedValue]] = {}
         self.hints: List[Tuple[str, str, VersionedValue]] = []  # (intended, key, version)
+        self.op_seq = 0  # local mutation counter: the snapshot cursor
+        self.snapshots: Optional[SnapshotStore] = None
+        self.snapshotter: Optional[Snapshotter] = None
         self.endpoint = Endpoint(network, name)
         self.endpoint.register("PUT", self._handle_put)
         self.endpoint.register("GET", self._handle_get)
@@ -40,6 +45,9 @@ class DynamoNode:
     def store_version(self, key: str, version: VersionedValue) -> None:
         existing = self.store.get(key, [])
         self.store[key] = prune_dominated(existing + [version])
+        self.op_seq += 1
+        if self.snapshotter is not None:
+            self.snapshotter.mark_dirty()
 
     def versions_of(self, key: str) -> List[VersionedValue]:
         return list(self.store.get(key, []))
@@ -97,6 +105,34 @@ class DynamoNode:
         return delivered
 
     # ------------------------------------------------------------------
+    # Snapshots (rejoin seeding)
+
+    def enable_snapshots(self, cadence: float, max_chain: int = 8) -> Snapshotter:
+        """Checkpoint the sibling store every ``cadence`` seconds, keyed by
+        the local mutation counter. A cold-crashed node seeds its rejoin
+        from the latest snapshot; Merkle anti-entropy closes what the
+        checkpoint missed — instead of resyncing the whole keyspace."""
+        if self.snapshotter is None:
+            self.snapshots = SnapshotStore(
+                self.sim, Disk(self.sim, name=f"{self.name}.snapdisk"),
+                name=f"{self.name}.snap",
+            )
+            self.snapshotter = Snapshotter(
+                self.sim, None, self._snapshot_capture, self.snapshots,
+                cadence=cadence, name=self.name, cursor=lambda: self.op_seq,
+            )
+        return self.snapshotter
+
+    def _snapshot_capture(self) -> Tuple[Dict[str, Any], Dict[str, Any]]:
+        # Versions are immutable; copying the lists is a deep-enough copy.
+        state = {key: list(versions) for key, versions in self.store.items()}
+        meta = {
+            "hints": list(self.hints),
+            "op_seq": self.op_seq,
+        }
+        return state, meta
+
+    # ------------------------------------------------------------------
     # Failure
 
     def crash(self) -> None:
@@ -107,3 +143,46 @@ class DynamoNode:
 
     def restart(self) -> None:
         self.endpoint.restart()
+
+    def cold_crash(self) -> int:
+        """Fail losing the in-memory store (the node's 'disk' burned with
+        it, or it never had one). Returns the version count lost. Rejoin
+        is :meth:`cold_restart`: snapshot seed + anti-entropy for the rest."""
+        lost = sum(len(v) for v in self.store.values())
+        self.store = {}
+        self.hints = []
+        self.op_seq = 0
+        if self.snapshotter is not None:
+            self.snapshotter.stop()
+        self.endpoint.stop("crash")
+        self.sim.metrics.inc(f"dynamo.{self.name}.cold_crashes")
+        self.sim.trace.emit(self.name, "cold_crash", versions_lost=lost)
+        return lost
+
+    def cold_restart(self) -> Generator[Any, Any, Dict[str, Any]]:
+        """Rejoin from the latest snapshot (disk-timed load). Everything
+        written since the cut is *missing* until hinted handoff and Merkle
+        rounds repair it — but the bulk never crosses the network."""
+        start = self.sim.now
+        seeded = 0
+        snapshot_seq = 0
+        if self.snapshots is not None:
+            snapshot = yield from self.snapshots.materialize()
+            if snapshot is not None:
+                self.store = {k: list(v) for k, v in snapshot.state.items()}
+                self.hints = list(snapshot.meta.get("hints", ()))
+                snapshot_seq = snapshot.meta.get("op_seq", snapshot.lsn)
+                seeded = sum(len(v) for v in self.store.values())
+        # The cursor must stay monotone past the recovered cut, or the
+        # next checkpoint would look like a regression.
+        self.op_seq = max(self.op_seq, snapshot_seq)
+        self.endpoint.restart()
+        if self.snapshotter is not None:
+            self.snapshotter.start()
+        duration = self.sim.now - start
+        self.sim.metrics.observe(f"dynamo.{self.name}.recovery_time_s", duration)
+        self.sim.metrics.inc("dynamo.rejoin_seeded_versions", seeded)
+        self.sim.trace.emit(
+            self.name, "cold_restart", seeded=seeded, duration=duration
+        )
+        return {"seeded_versions": seeded, "recovery_time": duration}

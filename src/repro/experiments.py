@@ -108,6 +108,14 @@ EXPERIMENTS: Tuple[Experiment, ...] = (
         "benchmarks/bench_e14_split_brain.py",
     ),
     Experiment(
+        "E15", "Snapshot + tail recovery",
+        "§3/§5.8: asynchronous checkpoints over the WAL make rejoin cost "
+        "track the tail since the last cut, not the total log — tighter "
+        "cadence buys faster recovery and a smaller re-ship window",
+        ("repro.storage.snapshot", "repro.logship", "repro.chaos.rejoin"),
+        "benchmarks/bench_e15_snapshot_recovery.py",
+    ),
+    Experiment(
         "A1", "Hinted handoff availability",
         "§6.1: sloppy quorum keeps PUTs available past strict-quorum failure",
         ("repro.dynamo",), "benchmarks/bench_a01_hinted_handoff.py",
@@ -137,6 +145,14 @@ EXPERIMENTS: Tuple[Experiment, ...] = (
         "§2/§5.8: cadence trades checkpoint cost against redone work",
         ("repro.cluster.process_pair",),
         "benchmarks/bench_a06_checkpoint_cadence.py",
+    ),
+    Experiment(
+        "A7", "Snapshot-seeded Dynamo rejoin",
+        "§6: a cold-crashed node seeding from its local snapshot moves "
+        "almost nothing over the wire; without one, Merkle anti-entropy "
+        "resyncs the whole keyspace",
+        ("repro.dynamo", "repro.storage.snapshot"),
+        "benchmarks/bench_a07_snapshot_recovery.py",
     ),
     Experiment(
         "K1", "Simulator kernel throughput",

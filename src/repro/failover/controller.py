@@ -61,6 +61,12 @@ class FailoverController:
         lease = self.leases.grant(new_primary, self.lease_duration)
         self.takeovers += 1
         self.sim.metrics.inc("failover.auto_takeovers")
+        # Recovery time as clients experienced it: the primary's silence
+        # from its last heartbeat to this promotion. The loss window in
+        # txns/records is accounted inside the promote hook (take_over).
+        self.sim.metrics.observe(
+            "failover.takeover.recovery_time_s", self.detector._gap(node)
+        )
         self.sim.trace.emit(
             self.name, "auto_takeover",
             convicted=node, new_primary=new_primary, epoch=lease.epoch,

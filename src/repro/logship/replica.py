@@ -9,13 +9,19 @@ transactions by uniquifier, which is what makes re-shipping idempotent.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Generator, List, Set
+from typing import Any, Dict, Generator, List, Optional, Set
 
 from repro.errors import CrashedError, StaleEpochError
 from repro.net.network import Network
 from repro.net.rpc import Endpoint
 from repro.sim.scheduler import Simulator
 from repro.storage.disk import Disk
+from repro.storage.snapshot import (
+    SnapshotStore,
+    Snapshotter,
+    apply_txn_record,
+    recover,
+)
 from repro.storage.wal import WriteAheadLog
 
 
@@ -42,14 +48,18 @@ class DatabaseReplica:
         self.committed_local: Set[str] = set()   # txns this site decided
         self.applied_txns: Set[str] = set()      # txns applied (own + replayed)
         self.shipped_lsn = 0                     # how far we've shipped to the peer
+        self.applied_peer_lsn = 0                # how far we've applied of theirs
         self.epoch = 0                           # fencing token of our own regime
         self.fenced_below = 0                    # reject traffic older than this
         self.crashed = False
         self._staged: Dict[str, Dict[Any, Any]] = {}
+        self.snapshots: Optional[SnapshotStore] = None
+        self.snapshotter: Optional[Snapshotter] = None
         self.endpoint = Endpoint(network, name)
         self.endpoint.register("SHIP", self._handle_ship)
         self.endpoint.register("GET", self._handle_get)
         self.endpoint.register("FENCE", self._handle_fence)
+        self.endpoint.register("CATCHUP", self._handle_catchup)
         self.endpoint.start()
 
     # ------------------------------------------------------------------
@@ -92,6 +102,8 @@ class DatabaseReplica:
         for key in writes:
             self.last_write_time[key] = self.sim.now
         self.applied_txns.add(txn_id)
+        if self.snapshotter is not None:
+            self.snapshotter.mark_dirty()
 
     def unshipped_records(self) -> List[Dict[str, Any]]:
         """Durable records not yet shipped to the peer, as wire payloads."""
@@ -118,20 +130,25 @@ class DatabaseReplica:
             return {"fenced": True, "epoch": self.fenced_below}
         for record in msg.payload["records"]:
             self.replay_record(record)
+            self.applied_peer_lsn = max(self.applied_peer_lsn, record["lsn"])
         self.sim.metrics.inc(f"logship.{self.name}.ship_batches")
         return {"applied_through": msg.payload["records"][-1]["lsn"]
                 if msg.payload["records"] else 0}
 
     def replay_record(self, record: Dict[str, Any]) -> None:
-        """Apply one shipped record. Already-applied txns are skipped —
-        the uniquifier makes replay idempotent."""
-        txn_id = record["txn"]
-        if txn_id in self.applied_txns:
-            return
-        if record["kind"] == "WRITE":
-            self._staged.setdefault(txn_id, {})[record["key"]] = record["value"]
-        elif record["kind"] == "COMMIT":
-            self._apply(txn_id, self._staged.pop(txn_id, {}))
+        """Apply one shipped record via the shared WRITE-stage/COMMIT-apply
+        discipline. Already-applied txns are skipped — the uniquifier makes
+        replay idempotent."""
+        writes = apply_txn_record(
+            self.state, self._staged, self.applied_txns,
+            record["kind"], record["txn"],
+            {"key": record.get("key"), "value": record.get("value")},
+        )
+        if writes is not None:
+            for key in writes:
+                self.last_write_time[key] = self.sim.now
+            if self.snapshotter is not None:
+                self.snapshotter.mark_dirty()
 
     def _handle_get(self, _ep: Endpoint, msg: Any) -> Dict[str, Any]:
         return {"value": self.state.get(msg.payload["key"])}
@@ -139,6 +156,59 @@ class DatabaseReplica:
     def _handle_fence(self, _ep: Endpoint, msg: Any) -> Dict[str, Any]:
         self.fence(msg.payload["epoch"])
         return {"epoch": self.fenced_below}
+
+    def _handle_catchup(self, _ep: Endpoint, msg: Any) -> Dict[str, Any]:
+        """A rejoining peer recovered a snapshot that had applied our log
+        through ``from_lsn``; rewind the shipping cursor so the regular
+        ship loop re-sends only the tail past it. Overlap is harmless —
+        replay is idempotent by txn uniquifier."""
+        from_lsn = msg.payload["from_lsn"]
+        rewound = max(0, self.shipped_lsn - from_lsn)
+        self.shipped_lsn = min(self.shipped_lsn, from_lsn)
+        if rewound:
+            self.sim.metrics.inc(f"logship.{self.name}.catchup_rewinds")
+            self.sim.trace.emit(
+                self.name, "ship.catchup", from_lsn=from_lsn, rewound=rewound
+            )
+        return {"shipped_lsn": self.shipped_lsn}
+
+    # ------------------------------------------------------------------
+    # Snapshots (asynchronous checkpoints over the WAL)
+
+    def enable_snapshots(self, cadence: float, max_chain: int = 8) -> Snapshotter:
+        """Checkpoint this site's applied state every ``cadence`` seconds.
+
+        Snapshots land on their own disk (a separate device, so checkpoint
+        IO never queues behind the log arm). The caller starts the loop.
+        """
+        if self.snapshotter is None:
+            snap_disk = Disk(
+                self.sim, name=f"{self.name}.snapdisk",
+                service_time=self.disk.service_time,
+                per_item_time=self.disk.per_item_time,
+            )
+            self.snapshots = SnapshotStore(
+                self.sim, snap_disk, name=f"{self.name}.snap", max_chain=max_chain
+            )
+            self.snapshotter = Snapshotter(
+                self.sim, self.wal, self._snapshot_capture, self.snapshots,
+                cadence=cadence, name=self.name,
+            )
+        return self.snapshotter
+
+    def _snapshot_capture(self) -> Any:
+        """The consistent cut: state plus everything a cold restart needs —
+        in-flight staged txns (split by the cut), applied uniquifiers, and
+        both shipping cursors. All copies, zero sim time."""
+        meta = {
+            "staged": {txn: dict(w) for txn, w in self._staged.items()},
+            "applied_txns": sorted(self.applied_txns),
+            "committed_local": sorted(self.committed_local),
+            "applied_peer_lsn": self.applied_peer_lsn,
+            "shipped_lsn": self.shipped_lsn,
+            "last_write_time": dict(self.last_write_time),
+        }
+        return dict(self.state), meta
 
     # ------------------------------------------------------------------
     # Failure
@@ -150,8 +220,67 @@ class DatabaseReplica:
         self.wal.lose_volatile()
         self._staged.clear()
         self.crashed = True
+        if self.snapshotter is not None:
+            self.snapshotter.stop()
         self.endpoint.stop("crash")
 
     def restart(self) -> None:
         self.crashed = False
         self.endpoint.restart()
+
+    def cold_restart(self) -> Generator[Any, Any, Dict[str, Any]]:
+        """Restart after losing memory entirely: recover applied state from
+        the latest snapshot plus the local WAL tail past its LSN.
+
+        Peer-shipped records never touched the local WAL, so everything
+        replayed since the snapshot's cut is *gone* until the peer re-ships
+        it — the returned ``applied_peer_lsn`` is the cursor to hand to the
+        peer's CATCHUP. Without snapshots this is the from-scratch path:
+        full local replay and a peer re-ship from LSN 0.
+        """
+        start = self.sim.now
+        self.state = {}
+        self.last_write_time = {}
+        self.committed_local = set()
+        self.applied_txns = set()
+        self._staged = {}
+        self.applied_peer_lsn = 0
+        store = self.snapshots or SnapshotStore(
+            self.sim, Disk(self.sim, name=f"{self.name}.snapdisk.empty"),
+            name=f"{self.name}.snap",
+        )
+        result = yield from recover(store, self.wal)
+        self.state = result.state
+        self._staged = result.staged
+        self.applied_txns = result.applied_txns
+        meta = result.meta
+        self.committed_local = set(meta.get("committed_local", ()))
+        # The local WAL holds only locally-decided txns, so every replayed
+        # commit was one of ours.
+        self.committed_local.update(result.committed)
+        self.applied_peer_lsn = meta.get("applied_peer_lsn", 0)
+        # Memory is gone: the shipping cursor is whatever the snapshot
+        # knew. Rewinding only re-ships; replay idempotence absorbs it.
+        self.shipped_lsn = meta.get("shipped_lsn", 0)
+        self.last_write_time = dict(meta.get("last_write_time", {}))
+        self.crashed = False
+        self.endpoint.restart()
+        if self.snapshotter is not None:
+            self.snapshotter.start()
+        duration = self.sim.now - start
+        self.sim.metrics.observe(f"logship.{self.name}.recovery_time_s", duration)
+        self.sim.metrics.observe(
+            f"logship.{self.name}.recovery_replayed", result.replayed_records
+        )
+        self.sim.trace.emit(
+            self.name, "cold_restart",
+            snapshot_lsn=result.snapshot_lsn,
+            replayed=result.replayed_records,
+            duration=duration,
+        )
+        return {
+            "snapshot_lsn": result.snapshot_lsn,
+            "replayed_records": result.replayed_records,
+            "applied_peer_lsn": self.applied_peer_lsn,
+            "recovery_time": duration,
+        }

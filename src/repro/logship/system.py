@@ -57,9 +57,11 @@ class LogShippingSystem:
         disk_service_time: float = 0.005,
         seed: int = 0,
         sim: Optional[Simulator] = None,
+        snapshot_cadence: Optional[float] = None,
     ) -> None:
         self.mode = ShipMode(mode)
         self.ship_interval = ship_interval
+        self.snapshot_cadence = snapshot_cadence
         self.sim = sim or Simulator(seed=seed)
         self.network = Network(
             self.sim, default_link=LinkConfig(latency=FixedLatency(lan_latency))
@@ -88,6 +90,10 @@ class LogShippingSystem:
         self._txn_ids = itertools.count(1)
         self.client = Endpoint(self.network, "lsclient")
         self.client.start()
+        if snapshot_cadence is not None:
+            for replica in self.sites.values():
+                replica.enable_snapshots(snapshot_cadence)
+                replica.snapshotter.start()
         if self.mode is ShipMode.ASYNC:
             self._start_shipper()
 
@@ -292,6 +298,14 @@ class LogShippingSystem:
             self.sim.metrics.inc("logship.lost_commits", len(in_doubt))
         else:
             self.sim.metrics.inc("logship.in_doubt_commits", len(in_doubt))
+        # The loss window, in both currencies: acked txns the survivor
+        # never saw, and how far its replay cursor trails the old
+        # primary's durability horizon.
+        self.sim.metrics.observe("logship.takeover.loss_window_txns", len(in_doubt))
+        self.sim.metrics.observe(
+            "logship.takeover.loss_window_records",
+            max(0, old.wal.durable_lsn - new.applied_peer_lsn),
+        )
         self.sim.trace.emit(
             "logship", "takeover", new_primary=self.serving, lost=len(in_doubt),
         )
@@ -302,6 +316,41 @@ class LogShippingSystem:
             "new_primary": self.serving,
             "epoch": new_epoch,
         }
+
+    def rejoin(self, site: Optional[str] = None) -> Generator[Any, Any, Dict[str, Any]]:
+        """Cold-restart a crashed site from snapshot + WAL tail, then have
+        the serving peer re-ship only the records past the snapshot's
+        applied-peer cursor (a CATCHUP rewind + the regular ship loop).
+
+        This is the tail-recovery rejoin the §3 checkpoint arc promises:
+        without a snapshot the site replays its whole log and the peer
+        re-ships from LSN 0; with one, both costs shrink to the tail.
+        """
+        site = site or self._peer(self.serving)
+        replica = self.sites[site]
+        if site == self.serving:
+            raise SimulationError(f"cannot rejoin the serving site {site!r}")
+        start = self.sim.now
+        local = yield from replica.cold_restart()
+        if not self._peer_back[self.serving].triggered:
+            self._peer_back[self.serving].trigger(None)
+        reply = yield from self.client.call(
+            self.serving, "CATCHUP", {"from_lsn": local["applied_peer_lsn"]}
+        )
+        self._kick_shipper(self.serving)
+        duration = self.sim.now - start
+        self.sim.metrics.observe("logship.rejoin.time_s", duration)
+        self.sim.metrics.observe(
+            "logship.rejoin.reship_from", reply["shipped_lsn"]
+        )
+        self.sim.trace.emit(
+            "logship", "rejoin", site=site,
+            snapshot_lsn=local["snapshot_lsn"],
+            replayed=local["replayed_records"],
+            reship_from=reply["shipped_lsn"],
+            duration=duration,
+        )
+        return {**local, "reship_from": reply["shipped_lsn"], "rejoin_time": duration}
 
     def recover_orphans(self, policy: str = "discard") -> Dict[str, Any]:
         """Bring the crashed site back and deal with its orphaned tail.

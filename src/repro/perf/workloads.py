@@ -24,6 +24,9 @@ The five-plus workloads cover the kernel's load-bearing paths:
                       per-call overhead of repro.resilience.
 - ``trace_storm``   — TraceLog.emit under a formatting-heavy payload (the
                       lazy-rendering fast path).
+- ``snapshot_recovery`` — log-ship commits under a running snapshotter,
+                      then a cold rejoin: checkpoint install, manifest
+                      chain materialize, and tail replay (§3/§5.8).
 """
 
 from __future__ import annotations
@@ -228,6 +231,33 @@ def trace_storm(scale: int, trace: bool = True) -> WorkloadRun:
     return WorkloadRun(events=scale, notes={"records": len(sim.trace.records)})
 
 
+def snapshot_recovery(scale: int, trace: bool = True) -> WorkloadRun:
+    """Log-ship commits with the snapshotter running, then a cold rejoin:
+    exercises checkpoint capture/install, the incremental manifest chain,
+    and snapshot + tail recovery end to end."""
+    from repro.logship import LogShippingSystem
+
+    system = LogShippingSystem(ship_interval=0.02, seed=7, snapshot_cadence=0.5)
+    sim = system.sim
+    sim.trace.enabled = trace
+
+    def job():
+        for i in range(scale):
+            yield from system.submit({f"k{i % 16}": i})
+            yield Timeout(0.05)
+        yield Timeout(0.5)
+        system.fail_over()
+        result = yield from system.rejoin("east")
+        yield Timeout(2.0)
+        return result
+
+    result = sim.run_process(job())
+    return WorkloadRun(
+        events=sim.steps,
+        notes={"txns": scale, "tail_replayed": result["replayed_records"]},
+    )
+
+
 WORKLOADS: Dict[str, Workload] = {
     "sched_churn": Workload(
         sched_churn, quick_scale=150_000, full_scale=600_000,
@@ -257,6 +287,10 @@ WORKLOADS: Dict[str, Workload] = {
         trace_storm, quick_scale=100_000, full_scale=400_000,
         description="TraceLog.emit with formatting-heavy payloads",
         trace_toggle=True,
+    ),
+    "snapshot_recovery": Workload(
+        snapshot_recovery, quick_scale=300, full_scale=1_500,
+        description="log-ship commits + checkpoints, then a cold rejoin (§3)",
     ),
 }
 

@@ -11,11 +11,35 @@ disk). This package models exactly that line:
 - :class:`WriteAheadLog` — LSN-stamped records with an explicit volatile
   tail; ``flush`` moves the durability horizon.
 - :class:`PageStore` — a small key/value page store with disk-timed IO.
+- :mod:`snapshot` — incremental LSN-stamped checkpoints over the WAL and
+  the snapshot + tail-replay recovery path.
 """
 
 from repro.storage.disk import Disk
 from repro.storage.mirrored import MirroredDisk
 from repro.storage.wal import LogRecord, WriteAheadLog
 from repro.storage.kv import PageStore
+from repro.storage.snapshot import (
+    MaterializedSnapshot,
+    RecoveryResult,
+    SnapshotRecord,
+    SnapshotStore,
+    Snapshotter,
+    apply_txn_record,
+    recover,
+)
 
-__all__ = ["Disk", "MirroredDisk", "LogRecord", "WriteAheadLog", "PageStore"]
+__all__ = [
+    "Disk",
+    "MirroredDisk",
+    "LogRecord",
+    "WriteAheadLog",
+    "PageStore",
+    "SnapshotRecord",
+    "MaterializedSnapshot",
+    "SnapshotStore",
+    "Snapshotter",
+    "RecoveryResult",
+    "apply_txn_record",
+    "recover",
+]

@@ -72,7 +72,8 @@ class Disk:
         self.sim.metrics.inc(f"disk.{self.name}.writes")
 
     def write_batch(self, items: Dict[Any, Any]) -> Generator[Any, Any, None]:
-        """Durable write of many blocks in one arm pass."""
+        """Durable write of many blocks in one arm pass. Atomic against
+        media failure: if the disk dies mid-service, no block lands."""
         yield from self._service(len(items))
         self._blocks.update(items)
         self.sim.metrics.inc(f"disk.{self.name}.writes")
@@ -83,6 +84,16 @@ class Disk:
         yield from self._service(1)
         self.sim.metrics.inc(f"disk.{self.name}.reads")
         return self._blocks.get(key)
+
+    def read_batch(self, keys: Any) -> Generator[Any, Any, Dict[Any, Any]]:
+        """Timed sequential read of many blocks in one arm pass (the
+        recovery scan: cost scales with how much is read, not with what
+        the disk holds). Missing keys are omitted from the result."""
+        keys = list(keys)
+        yield from self._service(len(keys))
+        self.sim.metrics.inc(f"disk.{self.name}.reads")
+        self.sim.metrics.inc(f"disk.{self.name}.blocks_read", len(keys))
+        return {key: self._blocks[key] for key in keys if key in self._blocks}
 
     def peek(self, key: Any) -> Optional[Any]:
         """Zero-time read for tests and recovery tooling."""
@@ -110,6 +121,14 @@ class Disk:
             yield Timeout(
                 (self.service_time + self.per_item_time * items) * self.slow_factor
             )
+            if self.failed:
+                # The media died while the request was in service — e.g. a
+                # slow-disk fault stretched the transfer past the failure.
+                # The request did NOT complete; surfacing it here is what
+                # keeps a WAL flush from silently advancing durable_lsn
+                # over a half-written batch.
+                self.sim.metrics.inc(f"disk.{self.name}.interrupted_requests")
+                raise CrashedError(f"disk {self.name!r} failed mid-request")
         finally:
             self._arm.release()
 

@@ -69,11 +69,24 @@ class WriteAheadLog:
 
     def flush(self) -> Generator[Any, Any, int]:
         """Write the volatile tail to disk in one batch; returns the new
-        durable LSN. A no-op flush still returns immediately."""
+        durable LSN. A no-op flush still returns immediately.
+
+        A disk failure mid-batch (including one that strikes while a
+        slow-disk fault has the request stretched out in service) must
+        not advance ``durable_lsn`` — the batch goes back to the front of
+        the buffer, the failure is counted, and the caller sees the
+        :class:`~repro.errors.CrashedError`. Nothing is silently lost:
+        a later flush after repair writes the same records.
+        """
         if not self._buffer:
             return self.durable_lsn
         batch, self._buffer = self._buffer, []
-        yield from self.disk.write_batch({r.lsn: r for r in batch})
+        try:
+            yield from self.disk.write_batch({r.lsn: r for r in batch})
+        except BaseException:
+            self._buffer = batch + self._buffer
+            self.sim.metrics.inc(f"wal.{self.name}.flush_failures")
+            raise
         self.durable_lsn = max(self.durable_lsn, batch[-1].lsn)
         self.sim.metrics.inc(f"wal.{self.name}.flushes")
         self.sim.metrics.inc(f"wal.{self.name}.records_flushed", len(batch))
@@ -102,3 +115,15 @@ class WriteAheadLog:
                 f"requested LSN {high_inclusive} beyond durable {self.durable_lsn}"
             )
         return [r for r in self.durable_records() if low_exclusive < r.lsn <= high_inclusive]
+
+    def read_tail(self, from_lsn_exclusive: int) -> Generator[Any, Any, List[LogRecord]]:
+        """Disk-timed read of the durable tail past ``from_lsn_exclusive``,
+        in LSN order. This is recovery's IO: its cost scales with the tail
+        length, not with how long the whole log is — the entire point of
+        snapshot + tail recovery."""
+        wanted = [
+            lsn for lsn in sorted(self.disk.contents())
+            if from_lsn_exclusive < lsn <= self.durable_lsn
+        ]
+        blocks = yield from self.disk.read_batch(wanted)
+        return [blocks[lsn] for lsn in wanted]

@@ -92,3 +92,49 @@ def test_merkle_respects_ownership():
     # the original PUT, never a merkle recipient: with all nodes up at PUT
     # time there were no hints, so holders ⊆ owners.
     assert holders <= owners
+
+
+# ----------------------------------------------------------------------
+# Edge cases: degenerate stores and representation independence
+
+
+def test_empty_vs_empty_all_buckets_agree():
+    """Two empty stores digest identically in every bucket — an
+    anti-entropy pass between fresh nodes moves nothing."""
+    assert all_digests({}, 16) == all_digests({}, 16)
+    for bucket in range(8):
+        assert frontier_digest({}, bucket, 8) == frontier_digest({}, bucket, 8)
+
+
+def test_single_bucket_total_divergence():
+    """With one bucket the whole keyspace is one digest: completely
+    disjoint stores disagree on it, and syncing that one bucket is a
+    whole-store transfer — the degenerate tree gives no locality."""
+    mine = {
+        f"k{i}": [VersionedValue(i, VectorClock({"n1": i + 1}))]
+        for i in range(10)
+    }
+    theirs = {
+        f"j{i}": [VersionedValue(i, VectorClock({"n2": i + 1}))]
+        for i in range(10)
+    }
+    assert all(bucket_of(key, 1) == 0 for key in list(mine) + list(theirs))
+    assert all_digests(mine, 1) != all_digests(theirs, 1)
+    # Same content, one bucket: still equal — divergence, not bucketing.
+    assert all_digests(mine, 1) == all_digests(dict(mine), 1)
+
+
+def test_digest_stable_across_insertion_order():
+    """The digest is a function of the *set* of (key, clock, value)
+    triples, not of dict insertion order — neither store-key order nor
+    clock-counter order may leak into the hash."""
+    forward = VersionedValue("v", VectorClock({"n1": 1, "n2": 2}))
+    backward = VersionedValue("v", VectorClock({"n2": 2, "n1": 1}))
+    store_ab = {"a": [forward], "b": [forward]}
+    store_ba = {"b": [forward], "a": [forward]}
+    assert list(store_ab) != list(store_ba)  # insertion order does differ
+    for bucket in range(4):
+        assert (frontier_digest(store_ab, bucket, 4)
+                == frontier_digest(store_ba, bucket, 4))
+        assert (frontier_digest({"k": [forward]}, bucket, 4)
+                == frontier_digest({"k": [backward]}, bucket, 4))

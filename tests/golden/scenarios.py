@@ -18,6 +18,7 @@ from typing import Any, Dict, Tuple
 
 from repro.chaos.scenarios import BankClearingScenario, CartDynamoScenario
 from repro.errors import TransactionAborted
+from repro.logship import LogShippingSystem
 from repro.sim.events import Timeout
 from repro.tandem import TandemConfig, TandemSystem
 
@@ -87,9 +88,43 @@ def run_tandem(seed: int = 3) -> Tuple[str, str]:
     return render_trace(sim), render_counters(counters)
 
 
+def run_recovery(seed: int = 5) -> Tuple[str, str]:
+    """The frozen recovery story: commits under a running snapshotter,
+    fail-over (east crashes cold), a few txns in the new regime, then
+    east rejoins — snapshot load, tail replay, CATCHUP re-ship. The trace
+    pins the whole checkpoint/recover/rejoin path bit-for-bit."""
+    system = LogShippingSystem(
+        ship_interval=0.02, seed=seed, snapshot_cadence=0.4
+    )
+    sim = system.sim
+
+    def job():
+        for i in range(20):
+            yield from system.submit({f"k{i % 5}": i})
+            yield Timeout(0.05)
+        # Crash before the next checkpoint fires, so recovery replays a
+        # real WAL tail past the last covered LSN.
+        yield Timeout(0.05)
+        system.fail_over()
+        for i in range(3):
+            yield from system.submit({f"post{i}": i})
+            yield Timeout(0.05)
+        result = yield from system.rejoin("east")
+        sim.metrics.inc("golden.tail_replayed", result["replayed_records"])
+        yield Timeout(2.0)
+
+    sim.run_process(job())
+    counters = sim.metrics.counters()
+    counters["golden.states_match"] = float(
+        system.backup.state == system.primary.state
+    )
+    return render_trace(sim), render_counters(counters)
+
+
 GOLDEN_RUNS = {
     "bank_seed7": run_bank,
     "cart_seed11": run_cart,
+    "recovery_seed5": run_recovery,
     "tandem_seed3": run_tandem,
 }
 

@@ -2,8 +2,9 @@
 
 import pytest
 
-from repro.errors import SimulationError
+from repro.errors import CrashedError, SimulationError
 from repro.sim import Simulator
+from repro.sim.events import Timeout
 from repro.storage import Disk, WriteAheadLog
 
 
@@ -105,6 +106,72 @@ def test_records_between_beyond_durable_rejected():
     wal.append("WRITE")
     with pytest.raises(SimulationError):
         wal.records_between(0, 1)  # lsn 1 not durable yet
+
+
+def test_flush_on_failed_disk_does_not_advance_durable_lsn():
+    sim, wal = make_wal()
+    wal.append("WRITE", txn_id=1)
+    wal.disk.fail()
+
+    def run():
+        yield from wal.flush()
+
+    with pytest.raises(CrashedError):
+        sim.run_process(run())
+    assert wal.durable_lsn == 0
+    assert wal.buffered_count == 1  # the batch went back to the buffer
+
+
+def test_slow_disk_fault_mid_batch_surfaces_failure():
+    """Regression: a disk that dies while a slowdown has the batch
+    stretched out in service must not let flush advance durable_lsn."""
+    sim, wal = make_wal()
+    for i in range(10):
+        wal.append("WRITE", txn_id=i)
+    wal.disk.set_slowdown(100.0)  # the batch is now in service for ~0.6s
+
+    outcome = {}
+
+    def flusher():
+        try:
+            yield from wal.flush()
+            outcome["ok"] = True
+        except CrashedError:
+            outcome["crashed"] = True
+
+    def saboteur():
+        yield Timeout(0.1)  # mid-service
+        wal.disk.fail()
+
+    sim.spawn(flusher(), name="flusher")
+    sim.spawn(saboteur(), name="saboteur")
+    sim.run()
+    assert outcome == {"crashed": True}
+    assert wal.durable_lsn == 0
+    assert len(wal.disk) == 0  # no half-written batch on the media
+    assert sim.metrics.counters()["wal.wal.flush_failures"] == 1
+    assert sim.metrics.counters()["disk.log.interrupted_requests"] == 1
+
+
+def test_flush_retries_cleanly_after_repair():
+    sim, wal = make_wal()
+    for i in range(3):
+        wal.append("WRITE", txn_id=i)
+    wal.disk.fail()
+
+    def run():
+        try:
+            yield from wal.flush()
+        except CrashedError:
+            pass
+        wal.disk.repair()
+        wal.append("WRITE", txn_id=3)
+        yield from wal.flush()
+
+    sim.run_process(run())
+    # Same records, same order — nothing lost, nothing duplicated.
+    assert [r.txn_id for r in wal.durable_records()] == [0, 1, 2, 3]
+    assert wal.durable_lsn == 4
 
 
 def test_record_payload_roundtrip():
