@@ -33,6 +33,7 @@ from repro.chaos.plan import (
 )
 from repro.chaos.rejoin import RejoinScenario
 from repro.chaos.retrystorm import RetryStormScenario
+from repro.chaos.ring_rebalance import RingRebalanceScenario
 from repro.chaos.splitbrain import SplitBrainScenario
 from repro.chaos.scenarios import (
     BankClearingScenario,
@@ -260,6 +261,7 @@ _SCENARIOS: dict = {
     "cart": CartDynamoScenario,
     "rejoin": RejoinScenario,
     "retry-storm": RetryStormScenario,
+    "ring-rebalance": RingRebalanceScenario,
     "split-brain": SplitBrainScenario,
 }
 
@@ -349,6 +351,15 @@ def smoke(seeds: Sequence[int], report_path: Optional[str] = None) -> int:
         if rejoin.failures:
             print(f"FAIL: {rejoin_policy} rejoin policy violated an invariant")
             failed = True
+
+    # The elastic ring reshapes mid-traffic (two joins + a decommission
+    # under message chaos) and must lose no acked write and re-converge.
+    rebalance_scenario = RingRebalanceScenario()
+    rebalance = _sweep(rebalance_scenario, seeds)
+    entries.append(_report_entry(rebalance_scenario, rebalance))
+    if rebalance.failures:
+        print("FAIL: elastic ring_rebalance violated an invariant")
+        failed = True
 
     # A retry storm is a goodput catastrophe, not a correctness bug:
     # the invariants must hold under BOTH client disciplines (E13

@@ -6,15 +6,30 @@ returned is the result, with a merged *context* clock. A PUT increments
 the coordinator's entry on the context and needs W stores; when intended
 owners are unreachable the write lands on fallback nodes with a hint —
 availability over consistency, always accept the PUT.
+
+The ring is elastic: :meth:`DynamoCluster.join` splices a new node in
+and bootstraps exactly the key ranges it now owns from their previous
+owners (range-scoped Merkle transfer); :meth:`DynamoCluster.decommission`
+routes writes away first, then streams the leaving node's ranges to
+their new owners before it departs. Both are driven through
+:class:`repro.cluster.membership.Membership`, and every hinted-handoff
+and intended-owner check consults the *current* ring — so an acked write
+is never stranded mid-reshape.
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Any, Dict, Generator, List, Optional
+from typing import Any, Dict, Generator, List, Optional, Sequence, Tuple
 
-from repro.errors import QuicksandError, SimulationError, TimeoutError_
+from repro.cluster.membership import Membership
+from repro.errors import (
+    CrashedError,
+    QuicksandError,
+    SimulationError,
+    TimeoutError_,
+)
 from repro.net.latency import FixedLatency
 from repro.net.network import LinkConfig, Network
 from repro.net.rpc import Endpoint, RpcError
@@ -22,8 +37,12 @@ from repro.resilience import RetryPolicy
 from repro.sim.events import AllOf
 from repro.sim.scheduler import Simulator
 from repro.dynamo.node import DynamoNode
-from repro.dynamo.ring import HashRing
+from repro.dynamo.ring import HashRing, key_in_ranges, moved_ranges
 from repro.dynamo.versions import VectorClock, VersionedValue, prune_dominated
+
+#: Exceptions one peer's failure shows up as, mid-round: no reply in time,
+#: a remote error, or our own endpoint dying under us.
+_PEER_ERRORS = (TimeoutError_, RpcError, CrashedError)
 
 
 #: Node-to-node replication traffic (anti-entropy pushes, Merkle sync):
@@ -91,30 +110,41 @@ class DynamoCluster:
                 node.enable_snapshots(snapshot_cadence)
                 node.snapshotter.start()
         self.ring = HashRing(list(self.nodes), vnodes=16)
+        self.membership = Membership.of_names(self.nodes)
         self._client_ids = itertools.count(1)
-        self._register_merkle_handlers()
+        for node in self.nodes.values():
+            self._register_merkle_handlers(node)
 
     def client(self, name: Optional[str] = None) -> "DynamoClient":
         return DynamoClient(self, name or f"dynclient{next(self._client_ids)}")
 
     def alive(self, node_name: str) -> bool:
-        return self.network.is_attached(node_name)
+        return (
+            node_name in self.nodes
+            and self.membership.is_alive(node_name)
+            and self.network.is_attached(node_name)
+        )
 
     def crash(self, node_name: str) -> None:
         self.nodes[node_name].crash()
+        self.membership.mark_down(node_name)
 
     def restart(self, node_name: str) -> None:
         self.nodes[node_name].restart()
+        self.membership.mark_up(node_name)
 
     def cold_crash(self, node_name: str) -> int:
         """Crash a node *losing its store* (vs :meth:`crash`, which models
         the store as durable). Returns versions lost."""
-        return self.nodes[node_name].cold_crash()
+        lost = self.nodes[node_name].cold_crash()
+        self.membership.mark_down(node_name)
+        return lost
 
     def cold_restart(self, node_name: str) -> Generator[Any, Any, Dict[str, Any]]:
         """Rejoin a cold-crashed node: snapshot seed, then the caller runs
         handoff + Merkle rounds to close the remaining diff."""
         result = yield from self.nodes[node_name].cold_restart()
+        self.membership.mark_up(node_name)
         return result
 
     def run_handoff_round(self) -> Generator[Any, Any, int]:
@@ -136,24 +166,39 @@ class DynamoCluster:
         for node in list(self.nodes.values()):
             if not self.alive(node.name):
                 continue
-            for key, versions in list(node.store.items()):
-                owners = self.ring.intended_owners(key, self.n)
-                for owner in owners:
-                    if owner == node.name or not self.network.reachable(node.name, owner):
-                        continue
-                    peer_clocks = {
-                        v.clock for v in self.nodes[owner].versions_of(key)
-                    }
-                    for version in versions:
-                        if any(pc.descends(version.clock) for pc in peer_clocks):
+            try:
+                for key, versions in list(node.store.items()):
+                    owners = self.ring.intended_owners(key, self.n)
+                    for owner in owners:
+                        if owner == node.name or owner not in self.nodes:
                             continue
-                        yield from node.endpoint.call(
-                            owner, "PUT",
-                            {"key": key, "value": version.value,
-                             "clock": dict(version.clock.counters)},
-                            policy=REPLICATION_POLICY,
-                        )
-                        pushed += 1
+                        if not self.network.reachable(node.name, owner):
+                            continue
+                        peer_clocks = {
+                            v.clock for v in self.nodes[owner].versions_of(key)
+                        }
+                        try:
+                            for version in versions:
+                                if any(pc.descends(version.clock)
+                                       for pc in peer_clocks):
+                                    continue
+                                yield from node.endpoint.call(
+                                    owner, "PUT",
+                                    {"key": key, "value": version.value,
+                                     "clock": dict(version.clock.counters)},
+                                    policy=REPLICATION_POLICY,
+                                )
+                                pushed += 1
+                        except _PEER_ERRORS:
+                            # One peer failing mid-round (e.g. crashing
+                            # between the liveness check and the call)
+                            # must not abort the whole round: skip it,
+                            # count it, keep going with the others.
+                            self.sim.metrics.inc("dynamo.anti_entropy_errors")
+            except (CrashedError, SimulationError):
+                # The *source* node died under us: its remaining pushes
+                # are moot, but other nodes still get their turn.
+                self.sim.metrics.inc("dynamo.anti_entropy_errors")
         if pushed:
             self.sim.metrics.inc("dynamo.anti_entropy_pushes", pushed)
         return pushed
@@ -161,43 +206,63 @@ class DynamoCluster:
     # ------------------------------------------------------------------
     # Merkle-digest anti-entropy (bucketed, message-efficient)
 
-    def _register_merkle_handlers(self) -> None:
+    def _register_merkle_handlers(self, node: DynamoNode) -> None:
         from repro.dynamo.merkle import all_digests, bucket_of
         from repro.dynamo.versions import VectorClock, VersionedValue
 
         def handle_digests(endpoint, msg):
-            node = self.nodes[endpoint.name]
-            shared = self._shared_ownership_view(node, msg.src)
-            return {"digests": all_digests(shared, msg.payload["buckets"])}
+            serving = self.nodes[endpoint.name]
+            ranges = msg.payload.get("ranges")
+            if ranges is not None:
+                view = self._range_view(serving, ranges)
+            else:
+                view = self._shared_ownership_view(serving, msg.src)
+            return {"digests": all_digests(view, msg.payload["buckets"])}
 
         def handle_sync_bucket(endpoint, msg):
-            node = self.nodes[endpoint.name]
+            serving = self.nodes[endpoint.name]
             buckets = msg.payload["buckets"]
             bucket = msg.payload["bucket"]
-            # Integrate what the peer sent (only keys we should own).
+            ranges = msg.payload.get("ranges")
+            # Integrate what the peer sent — only keys we should own
+            # under the *current* ring, so a reshape mid-flight can
+            # never plant data on a node that just lost the range.
+            integrated = 0
             for entry in msg.payload["versions"]:
                 key = entry["key"]
                 if endpoint.name not in self.ring.intended_owners(key, self.n):
                     continue
-                node.store_version(
-                    key, VersionedValue(entry["value"], VectorClock(entry["clock"]))
+                version = VersionedValue(
+                    entry["value"], VectorClock(entry["clock"])
                 )
-            # Reply with our versions of this bucket for keys the peer owns.
+                if not self._holds(serving, key, version.clock):
+                    integrated += 1
+                serving.store_version(key, version)
+            # Reply with our versions of this bucket: within the named
+            # ranges for a range-scoped transfer, else keys the peer owns.
             peer = msg.src
             reply = []
-            for key, versions in node.store.items():
+            for key, versions in serving.store.items():
                 if bucket_of(key, buckets) != bucket:
                     continue
-                if peer not in self.ring.intended_owners(key, self.n):
+                if ranges is not None:
+                    if not key_in_ranges(key, ranges):
+                        continue
+                elif peer not in self.ring.intended_owners(key, self.n):
                     continue
                 for version in versions:
                     reply.append({"key": key, "value": version.value,
                                   "clock": dict(version.clock.counters)})
-            return {"versions": reply}
+            return {"versions": reply, "integrated": integrated}
 
-        for node in self.nodes.values():
-            node.endpoint.register("DIGESTS", handle_digests)
-            node.endpoint.register("SYNC_BUCKET", handle_sync_bucket)
+        node.endpoint.register("DIGESTS", handle_digests)
+        node.endpoint.register("SYNC_BUCKET", handle_sync_bucket)
+
+    @staticmethod
+    def _holds(node: DynamoNode, key: str, clock: Any) -> bool:
+        """Whether ``node`` already covers a version (some stored clock
+        descends it) — re-shipping it moves no new information."""
+        return any(v.clock.descends(clock) for v in node.versions_of(key))
 
     def _shared_ownership_view(self, node: DynamoNode, peer: str) -> Dict[str, list]:
         """The slice of a node's store that a Merkle comparison with
@@ -209,6 +274,17 @@ class DynamoCluster:
             if node.name in owners and peer in owners:
                 view[key] = versions
         return view
+
+    def _range_view(
+        self, node: DynamoNode, ranges: Sequence[Sequence[int]]
+    ) -> Dict[str, list]:
+        """The slice of a node's store inside the given hash arcs — the
+        view a range-scoped rebalance transfer compares and ships."""
+        return {
+            key: versions
+            for key, versions in node.store.items()
+            if key_in_ranges(key, ranges)
+        }
 
     def run_merkle_round(self, buckets: int = 16) -> Generator[Any, Any, Dict[str, int]]:
         """One digest-first anti-entropy pass over every live node pair.
@@ -227,10 +303,16 @@ class DynamoCluster:
                 if not self.network.reachable(a_name, b_name):
                     continue
                 a = self.nodes[a_name]
-                reply = yield from a.endpoint.call(
-                    b_name, "DIGESTS", {"buckets": buckets},
-                    policy=REPLICATION_POLICY,
-                )
+                try:
+                    reply = yield from a.endpoint.call(
+                        b_name, "DIGESTS", {"buckets": buckets},
+                        policy=REPLICATION_POLICY,
+                    )
+                except _PEER_ERRORS + (SimulationError,):
+                    # A peer (or our own endpoint) failing mid-round must
+                    # not abort the round: the remaining pairs still sync.
+                    self.sim.metrics.inc("dynamo.anti_entropy_errors")
+                    continue
                 stats["digest_msgs"] += 1
                 theirs = reply["digests"]
                 shared = self._shared_ownership_view(a, b_name)
@@ -245,11 +327,15 @@ class DynamoCluster:
                         for version in versions:
                             payload.append({"key": key, "value": version.value,
                                             "clock": dict(version.clock.counters)})
-                    sync_reply = yield from a.endpoint.call(
-                        b_name, "SYNC_BUCKET",
-                        {"bucket": bucket, "buckets": buckets, "versions": payload},
-                        policy=REPLICATION_POLICY,
-                    )
+                    try:
+                        sync_reply = yield from a.endpoint.call(
+                            b_name, "SYNC_BUCKET",
+                            {"bucket": bucket, "buckets": buckets, "versions": payload},
+                            policy=REPLICATION_POLICY,
+                        )
+                    except _PEER_ERRORS + (SimulationError,):
+                        self.sim.metrics.inc("dynamo.anti_entropy_errors")
+                        break
                     stats["bucket_msgs"] += 1
                     stats["versions_moved"] += len(payload)
                     for entry in sync_reply["versions"]:
@@ -266,13 +352,235 @@ class DynamoCluster:
         return stats
 
     def converged_on(self, key: str) -> bool:
-        """Do all live intended owners hold the same sibling frontier?"""
+        """Do all live intended owners hold the same sibling frontier?
+
+        ``False`` when *no* intended owner is alive: with zero replicas
+        reachable nothing can be said about the key, and "vacuously
+        converged" would let a reconvergence invariant pass spuriously
+        during a heavy failure window.
+        """
         owners = [o for o in self.ring.intended_owners(key, self.n) if self.alive(o)]
+        if not owners:
+            return False
         frontiers = [
             frozenset(v.clock for v in self.nodes[owner].versions_of(key))
             for owner in owners
         ]
         return len(set(frontiers)) <= 1
+
+    # ------------------------------------------------------------------
+    # Elastic membership: join / decommission with range rebalancing
+
+    def join(
+        self, node_name: str, buckets: int = 16
+    ) -> Generator[Any, Any, Dict[str, int]]:
+        """Splice a new node into the ring and bootstrap its ranges.
+
+        The ring and membership are updated *first*, so every subsequent
+        PUT's intended-owner and hinted-handoff checks see the new
+        topology — then the joiner pulls exactly the arcs it gained from
+        their previous owners via a range-scoped Merkle transfer. Until a
+        range lands, its old owners still hold every acked write; reads
+        meanwhile quorum across R replicas, so the cluster never depends
+        on the joiner alone. Returns transfer accounting.
+        """
+        if node_name in self.nodes:
+            raise SimulationError(f"node {node_name!r} already in the cluster")
+        node = DynamoNode(self.sim, self.network, node_name)
+        if self.snapshot_cadence is not None:
+            node.enable_snapshots(self.snapshot_cadence)
+            node.snapshotter.start()
+        self._register_merkle_handlers(node)
+        self.nodes[node_name] = node
+        before = self.ring.clone()
+        self.ring.add_node(node_name)
+        self.membership.add_name(node_name)
+        moved = moved_ranges(before, self.ring, self.n)
+        self.sim.metrics.inc("dynamo.ring_joins")
+        self.sim.trace.emit(
+            node_name, "ring.join", moved_ranges=len(moved),
+            nodes=len(self.nodes),
+        )
+        # Pull each gained arc from every previous owner still reachable
+        # (the first source ships the bulk; Merkle digests make the rest
+        # near-free once the range agrees).
+        pulls: Dict[str, List[Tuple[int, int]]] = {}
+        for arc in moved:
+            if node_name not in arc.gained:
+                continue
+            for source in arc.old_owners:
+                if source == node_name or source not in self.nodes:
+                    continue
+                pulls.setdefault(source, []).append((arc.start, arc.end))
+        stats = {"moved_ranges": len(moved), "versions_moved": 0,
+                 "digest_msgs": 0, "bucket_msgs": 0}
+        for source, ranges in pulls.items():
+            if not self.alive(source):
+                continue
+            if not self.network.reachable(node_name, source):
+                continue
+            sync = yield from self._range_sync(node, source, ranges, buckets)
+            for field_name in ("versions_moved", "digest_msgs", "bucket_msgs"):
+                stats[field_name] += sync[field_name]
+        self.sim.metrics.inc(
+            "dynamo.rebalance_versions_moved", stats["versions_moved"]
+        )
+        return stats
+
+    def decommission(
+        self, node_name: str, buckets: int = 16
+    ) -> Generator[Any, Any, Dict[str, int]]:
+        """Remove a node from the ring, streaming its ranges out first.
+
+        The ring and membership drop the node *before* the drain, so new
+        writes route to the arcs' successor owners while the leaver
+        ships what it holds: hints first, then a range-scoped Merkle
+        push of every arc that gained an owner, then a sweep for any
+        straggler versions whose current owners lack them. A dead node
+        can be decommissioned too — its arcs' data survives on the other
+        W-1 replicas and anti-entropy heals the copy count.
+        """
+        if node_name not in self.nodes:
+            raise SimulationError(f"unknown node {node_name!r}")
+        if len(self.nodes) - 1 < self.n:
+            raise SimulationError(
+                f"cannot decommission below N={self.n} nodes"
+            )
+        node = self.nodes[node_name]
+        before = self.ring.clone()
+        self.ring.remove_node(node_name)
+        moved = moved_ranges(before, self.ring, self.n)
+        self.sim.metrics.inc("dynamo.ring_decommissions")
+        self.sim.trace.emit(
+            node_name, "ring.decommission", moved_ranges=len(moved),
+            nodes=len(self.nodes) - 1,
+        )
+        stats = {"moved_ranges": len(moved), "versions_moved": 0,
+                 "digest_msgs": 0, "bucket_msgs": 0, "leftover_pushes": 0}
+        if self.alive(node_name):
+            yield from node.deliver_hints()
+            pushes: Dict[str, List[Tuple[int, int]]] = {}
+            for arc in moved:
+                if node_name not in arc.old_owners:
+                    continue
+                for dest in arc.gained:
+                    if dest in self.nodes:
+                        pushes.setdefault(dest, []).append((arc.start, arc.end))
+            for dest, ranges in pushes.items():
+                if not self.alive(dest):
+                    continue
+                if not self.network.reachable(node_name, dest):
+                    continue
+                sync = yield from self._range_sync(node, dest, ranges, buckets)
+                for field_name in ("versions_moved", "digest_msgs", "bucket_msgs"):
+                    stats[field_name] += sync[field_name]
+            # Straggler sweep: hints that would not deliver, stale copies
+            # from older reshapes — push anything the current owners lack.
+            stats["leftover_pushes"] = yield from self._drain_leftovers(node)
+        self.membership.remove(node_name)
+        node.endpoint.stop("decommissioned")
+        if node.snapshotter is not None:
+            node.snapshotter.stop()
+        del self.nodes[node_name]
+        self.sim.metrics.inc(
+            "dynamo.rebalance_versions_moved",
+            stats["versions_moved"] + stats["leftover_pushes"],
+        )
+        return stats
+
+    def _drain_leftovers(self, node: DynamoNode) -> Generator[Any, Any, int]:
+        """Push any version the leaver holds that its key's current
+        owners lack — the long tail a range transfer can miss."""
+        pushed = 0
+        for key, versions in list(node.store.items()):
+            owners = self.ring.intended_owners(key, self.n)
+            for owner in owners:
+                if owner not in self.nodes:
+                    continue
+                if not self.network.reachable(node.name, owner):
+                    continue
+                peer_clocks = {
+                    v.clock for v in self.nodes[owner].versions_of(key)
+                }
+                try:
+                    for version in versions:
+                        if any(pc.descends(version.clock) for pc in peer_clocks):
+                            continue
+                        yield from node.endpoint.call(
+                            owner, "PUT",
+                            {"key": key, "value": version.value,
+                             "clock": dict(version.clock.counters)},
+                            policy=REPLICATION_POLICY,
+                        )
+                        pushed += 1
+                except _PEER_ERRORS + (SimulationError,):
+                    self.sim.metrics.inc("dynamo.anti_entropy_errors")
+        return pushed
+
+    def _range_sync(
+        self,
+        node: DynamoNode,
+        peer: str,
+        ranges: Sequence[Tuple[int, int]],
+        buckets: int = 16,
+    ) -> Generator[Any, Any, Dict[str, int]]:
+        """One range-scoped Merkle exchange with ``peer``: the same
+        DIGESTS/SYNC_BUCKET verbs anti-entropy uses, restricted to the
+        moved arcs. Both sides end up holding the ranges' frontier (each
+        stores only what it owns under the current ring)."""
+        from repro.dynamo.merkle import all_digests, bucket_of
+
+        stats = {"versions_moved": 0, "digest_msgs": 0, "bucket_msgs": 0}
+        range_payload = [[start, end] for start, end in ranges]
+        try:
+            reply = yield from node.endpoint.call(
+                peer, "DIGESTS",
+                {"buckets": buckets, "ranges": range_payload},
+                policy=REPLICATION_POLICY,
+            )
+        except _PEER_ERRORS + (SimulationError,):
+            self.sim.metrics.inc("dynamo.anti_entropy_errors")
+            return stats
+        stats["digest_msgs"] += 1
+        theirs = reply["digests"]
+        view = self._range_view(node, range_payload)
+        mine = all_digests(view, buckets)
+        for bucket in range(buckets):
+            if mine[bucket] == theirs[bucket]:
+                continue
+            payload = []
+            for key, versions in view.items():
+                if bucket_of(key, buckets) != bucket:
+                    continue
+                for version in versions:
+                    payload.append({"key": key, "value": version.value,
+                                    "clock": dict(version.clock.counters)})
+            try:
+                sync_reply = yield from node.endpoint.call(
+                    peer, "SYNC_BUCKET",
+                    {"bucket": bucket, "buckets": buckets,
+                     "ranges": range_payload, "versions": payload},
+                    policy=REPLICATION_POLICY,
+                )
+            except _PEER_ERRORS + (SimulationError,):
+                self.sim.metrics.inc("dynamo.anti_entropy_errors")
+                break
+            stats["bucket_msgs"] += 1
+            # Count versions that changed someone's state, not wire
+            # payloads: syncing the same arc with a second source ships
+            # bytes but moves no new information.
+            stats["versions_moved"] += sync_reply.get("integrated", 0)
+            for entry in sync_reply["versions"]:
+                key = entry["key"]
+                if node.name not in self.ring.intended_owners(key, self.n):
+                    continue
+                version = VersionedValue(
+                    entry["value"], VectorClock(entry["clock"])
+                )
+                if not self._holds(node, key, version.clock):
+                    stats["versions_moved"] += 1
+                node.store_version(key, version)
+        return stats
 
 
 class DynamoClient:

@@ -116,6 +116,15 @@ EXPERIMENTS: Tuple[Experiment, ...] = (
         "benchmarks/bench_e15_snapshot_recovery.py",
     ),
     Experiment(
+        "E16", "Elastic ring rebalance cost",
+        "§6: consistent hashing confines a join/leave to the moved arcs — "
+        "versions transferred track the moved-range share of the ring, not "
+        "the keyspace size, so rebalance cost stays a stable fraction as "
+        "the store grows",
+        ("repro.dynamo.ring", "repro.dynamo.cluster", "repro.chaos.ring_rebalance"),
+        "benchmarks/bench_e16_ring_rebalance.py",
+    ),
+    Experiment(
         "A1", "Hinted handoff availability",
         "§6.1: sloppy quorum keeps PUTs available past strict-quorum failure",
         ("repro.dynamo",), "benchmarks/bench_a01_hinted_handoff.py",

@@ -11,6 +11,7 @@ import sys
 from typing import Optional, Sequence
 
 from repro.perf.harness import (
+    check_heap_regression,
     check_regression,
     load_baseline,
     run_suite,
@@ -29,8 +30,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--out", default=None,
                         help="write the report JSON here")
     parser.add_argument("--baseline", default=None,
-                        help="compare events/sec against this report; exit 1 "
-                             "on a >30%% regression in any workload")
+                        help="compare against this report; exit 1 on a >30%% "
+                             "events/sec drop or >30%% peak-heap-per-event "
+                             "growth in any workload")
     parser.add_argument("--workloads", nargs="*", default=None,
                         choices=sorted(WORKLOADS),
                         help="subset of workloads to run (default: all)")
@@ -52,11 +54,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if baseline is not None:
         failures = check_regression(report, baseline)
+        failures += check_heap_regression(report, baseline)
         for failure in failures:
             print(f"[perf] REGRESSION {failure}")
         if failures:
             return 1
-        print("[perf] regression gate: ok")
+        print("[perf] regression gates (wall + heap): ok")
     return 0
 
 

@@ -11,10 +11,12 @@ Two passes per workload:
 Workloads that support it get a third, trace-disabled timed pass; the
 ratio is the trace overhead (what ``TraceLog.emit`` costs the hot loop).
 
-The regression gate compares events/sec against a baseline file and
-fails on a >30% drop for any workload (wall-clock noise on shared CI
-runners is real; 30% is far outside it, and the trajectory itself is the
-artifact to read for slow drifts).
+The regression gates compare against a baseline file and fail on a >30%
+events/sec drop or a >30% peak-heap-per-event growth for any workload
+(wall-clock noise on shared CI runners is real; 30% is far outside it,
+and the trajectory itself is the artifact to read for slow drifts —
+tracemalloc numbers are far steadier than wall time, but allocator and
+interpreter version shifts still warrant headroom).
 """
 
 from __future__ import annotations
@@ -32,6 +34,10 @@ from repro.perf.workloads import WORKLOADS, Workload, WorkloadRun
 
 #: Fail the gate when events/sec falls below this fraction of baseline.
 REGRESSION_FLOOR = 0.70
+
+#: Fail the gate when peak heap per event grows beyond this multiple of
+#: baseline (the memory-footprint twin of the wall-time floor).
+HEAP_CEILING = 1.30
 
 
 @dataclass
@@ -192,5 +198,30 @@ def check_regression(
                 f"{result.name}: {result.events_per_sec:,.0f} ev/s is "
                 f"{ratio:.0%} of baseline {base_rate:,.0f} ev/s "
                 f"(floor {floor:.0%})"
+            )
+    return failures
+
+
+def check_heap_regression(
+    report: BenchReport, baseline: Dict[str, Any], ceiling: float = HEAP_CEILING
+) -> List[str]:
+    """Compare peak heap bytes/event against a baseline report's. Returns
+    human-readable failures (empty = gate passes). Workloads missing from
+    the baseline are skipped — new workloads are not regressions."""
+    failures = []
+    base_workloads = baseline.get("workloads", {})
+    for result in report.results:
+        base = base_workloads.get(result.name)
+        if base is None:
+            continue
+        base_heap = base.get("peak_heap_bytes_per_event", 0.0)
+        if base_heap <= 0:
+            continue
+        ratio = result.peak_heap_bytes_per_event / base_heap
+        if ratio > ceiling:
+            failures.append(
+                f"{result.name}: {result.peak_heap_bytes_per_event:,.1f} "
+                f"heap bytes/event is {ratio:.0%} of baseline "
+                f"{base_heap:,.1f} (ceiling {ceiling:.0%})"
             )
     return failures

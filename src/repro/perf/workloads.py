@@ -27,6 +27,12 @@ The five-plus workloads cover the kernel's load-bearing paths:
 - ``snapshot_recovery`` — log-ship commits under a running snapshotter,
                       then a cold rejoin: checkpoint install, manifest
                       chain materialize, and tail replay (§3/§5.8).
+- ``zipf_ring``     — open-loop zipf GET/PUT storm against the Dynamo
+                      ring over a million-key space (skewed traffic on
+                      the quorum fan-out path).
+- ``ring_rebalance``— elastic membership: a preloaded ring takes a join
+                      and a decommission back to back (moved-range
+                      computation + range-scoped Merkle transfer).
 """
 
 from __future__ import annotations
@@ -258,6 +264,55 @@ def snapshot_recovery(scale: int, trace: bool = True) -> WorkloadRun:
     )
 
 
+def zipf_ring(scale: int, trace: bool = True) -> WorkloadRun:
+    """Open-loop zipf GET/PUT against an 8-node ring: Poisson arrivals,
+    90% GETs, read-modify-write PUTs, keys drawn zipf(0.99) from a
+    million-key space — the skewed-traffic shape of §6.1 at scale."""
+    from repro.workload.zipf import ZipfKeyGenerator, zipf_open_loop
+
+    sim = Simulator(seed=8)
+    sim.trace.enabled = trace
+    cluster = DynamoCluster(num_nodes=8, sim=sim)
+    client = cluster.client("zipf")
+    keys = ZipfKeyGenerator(
+        sim.rng.stream("perf.zipf"), keyspace=1_000_000, theta=0.99
+    )
+    stats: Dict[str, int] = {}
+    sim.spawn(
+        zipf_open_loop(sim, client, keys, rate=400.0, count=scale, stats=stats),
+        name="perf.zipf",
+    )
+    sim.run()
+    return WorkloadRun(
+        events=sim.steps,
+        notes={"requests": scale, "gets": stats["gets"], "puts": stats["puts"]},
+    )
+
+
+def ring_rebalance(scale: int, trace: bool = True) -> WorkloadRun:
+    """Elastic membership hot path: preload ``scale`` keys straight onto
+    their owners, then join a node (bootstrap pull) and decommission one
+    (drain push) — moved-range math plus range-scoped Merkle transfer."""
+    from repro.dynamo.versions import VectorClock, VersionedValue
+
+    sim = Simulator(seed=9)
+    sim.trace.enabled = trace
+    cluster = DynamoCluster(num_nodes=8, sim=sim)
+    for i in range(scale):
+        key = f"k{i}"
+        clock = VectorClock({"loader": 1})
+        for owner in cluster.ring.intended_owners(key, cluster.n):
+            cluster.nodes[owner].store_version(key, VersionedValue(i, clock))
+
+    def reshape():
+        joined = yield from cluster.join("node8")
+        left = yield from cluster.decommission("node0")
+        return joined["versions_moved"] + left["versions_moved"]
+
+    moved = sim.run_process(reshape())
+    return WorkloadRun(events=sim.steps, notes={"keys": scale, "moved": moved})
+
+
 WORKLOADS: Dict[str, Workload] = {
     "sched_churn": Workload(
         sched_churn, quick_scale=150_000, full_scale=600_000,
@@ -291,6 +346,14 @@ WORKLOADS: Dict[str, Workload] = {
     "snapshot_recovery": Workload(
         snapshot_recovery, quick_scale=300, full_scale=1_500,
         description="log-ship commits + checkpoints, then a cold rejoin (§3)",
+    ),
+    "zipf_ring": Workload(
+        zipf_ring, quick_scale=2_000, full_scale=10_000,
+        description="open-loop zipf GET/PUT storm on the Dynamo ring (§6.1)",
+    ),
+    "ring_rebalance": Workload(
+        ring_rebalance, quick_scale=600, full_scale=3_000,
+        description="elastic ring join + decommission with range transfer",
     ),
 }
 

@@ -6,6 +6,7 @@ from repro.workload.generators import (
     CartSessionPlan,
     random_cart_sessions,
 )
+from repro.workload.zipf import ZipfKeyGenerator, zipf_open_loop
 
 __all__ = [
     "poisson_arrivals",
@@ -13,4 +14,6 @@ __all__ = [
     "CheckStream",
     "CartSessionPlan",
     "random_cart_sessions",
+    "ZipfKeyGenerator",
+    "zipf_open_loop",
 ]

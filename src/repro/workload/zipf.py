@@ -1,0 +1,145 @@
+"""Zipf key popularity and an open-loop Dynamo GET/PUT driver.
+
+Real key traffic is skewed: a handful of keys take most of the requests
+(the §6.1 shopping carts nobody closes). ``ZipfKeyGenerator`` draws keys
+from a seeded zipf(θ) distribution over a keyspace that can be sized to
+millions without per-draw cost growing with it — draws are O(log K) via
+an inverse-CDF bisect over precomputed cumulative weights, and ranks are
+scattered over the key names so the hot set spreads across the ring
+instead of clustering on one arc.
+
+``zipf_open_loop`` layers an open (Poisson) arrival process of GETs and
+read-modify-write PUTs on a :class:`~repro.dynamo.cluster.DynamoClient`
+— the traffic shape the ring-rebalance scenarios and the ``zipf_ring``
+bench workload drive.
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+from typing import Any, Dict, Generator, Optional
+
+from repro.errors import SimulationError
+from repro.sim.events import Timeout
+from repro.sim.scheduler import Simulator
+
+#: Knuth's multiplicative-hash constant: coprime with any power-of-two
+#: keyspace, so rank -> key id is a bijection that scatters the hot ranks.
+_SCATTER = 2654435761
+
+
+class ZipfKeyGenerator:
+    """Seeded zipf(θ) popularity over ``keyspace`` named keys.
+
+    Rank ``r`` (0-based) carries weight ``1/(r+1)^theta``; ``theta=0``
+    degenerates to uniform, ``theta≈1`` is the classic web skew. The
+    rank→name mapping is a fixed bijective scatter, so two generators
+    with the same parameters name the same keys (replay-stable) while
+    adjacent ranks land far apart on the hash ring.
+    """
+
+    def __init__(
+        self,
+        rng: Any,
+        keyspace: int = 1_000_000,
+        theta: float = 0.99,
+        prefix: str = "key",
+    ) -> None:
+        if keyspace < 1:
+            raise SimulationError("zipf keyspace must be >= 1")
+        if theta < 0:
+            raise SimulationError("zipf theta must be >= 0")
+        self.rng = rng
+        self.keyspace = keyspace
+        self.theta = theta
+        self.prefix = prefix
+        weights = (1.0 / (rank + 1) ** theta for rank in range(keyspace))
+        self._cumulative = list(itertools.accumulate(weights))
+        self._total = self._cumulative[-1]
+
+    def rank(self) -> int:
+        """Draw a 0-based popularity rank (0 is the hottest)."""
+        return bisect.bisect_left(
+            self._cumulative, self.rng.random() * self._total
+        )
+
+    def key_for_rank(self, rank: int) -> str:
+        return f"{self.prefix}{(rank * _SCATTER) % self.keyspace}"
+
+    def key(self) -> str:
+        """Draw a key, zipf-popular by rank, scattered by name."""
+        return self.key_for_rank(self.rank())
+
+    def hot_keys(self, count: int) -> list:
+        """The ``count`` most popular key names (for assertions/repair)."""
+        return [self.key_for_rank(rank) for rank in range(min(count, self.keyspace))]
+
+
+def zipf_open_loop(
+    sim: Simulator,
+    client: Any,
+    keys: ZipfKeyGenerator,
+    rate: float,
+    get_fraction: float = 0.9,
+    count: Optional[int] = None,
+    until: Optional[float] = None,
+    stream: str = "workload.zipf",
+    on_ack: Optional[Any] = None,
+    stats: Optional[Dict[str, int]] = None,
+) -> Generator[Any, Any, Dict[str, int]]:
+    """An open-loop zipf GET/PUT driver against a Dynamo client.
+
+    Requests arrive Poisson at ``rate``/s regardless of completion (open
+    loop: a slow cluster builds a backlog instead of throttling the
+    offered load). Each request draws a zipf key; a ``get_fraction``
+    coin decides GET vs read-modify-write PUT (GET for context, then PUT
+    — the §6.1 cart discipline, no blind writes). Failed quorums are
+    counted, not raised: availability under reshaping is the measurement.
+
+    ``on_ack(key, value)`` observes every acknowledged PUT (invariant
+    bookkeeping); ``stats`` (updated in place if given) counts
+    gets/puts/failures and is also the return value.
+    """
+    from repro.dynamo.cluster import QuorumUnavailable
+    from repro.errors import CrashedError, TimeoutError_
+    from repro.net.rpc import RpcError
+
+    if rate <= 0:
+        raise SimulationError("zipf driver rate must be positive")
+    if count is None and until is None:
+        raise SimulationError("zipf_open_loop needs count or until")
+    if not 0.0 <= get_fraction <= 1.0:
+        raise SimulationError("get_fraction must be in [0, 1]")
+    rng = sim.rng.stream(stream)
+    counters = stats if stats is not None else {}
+    for field in ("gets", "puts", "failed_gets", "failed_puts"):
+        counters.setdefault(field, 0)
+    put_seq = itertools.count(1)
+
+    def one_request(key: str, is_get: bool) -> Generator[Any, Any, None]:
+        try:
+            if is_get:
+                yield from client.get(key)
+                counters["gets"] += 1
+            else:
+                result = yield from client.get(key)
+                value = next(put_seq)
+                yield from client.put(key, value, context=result.context)
+                counters["puts"] += 1
+                if on_ack is not None:
+                    on_ack(key, value)
+        except (QuorumUnavailable, TimeoutError_, RpcError, CrashedError):
+            counters["failed_gets" if is_get else "failed_puts"] += 1
+
+    started = 0
+    while count is None or started < count:
+        yield Timeout(rng.expovariate(rate))
+        if until is not None and sim.now > until:
+            break
+        key = keys.key()
+        is_get = rng.random() < get_fraction
+        sim.spawn(one_request(key, is_get), name=f"zipf-{started}")
+        started += 1
+    counters["requests"] = started
+    return counters

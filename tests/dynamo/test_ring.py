@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import SimulationError
-from repro.dynamo import HashRing
+from repro.dynamo import HashRing, moved_ranges
 
 
 def test_empty_ring_rejected():
@@ -52,3 +52,106 @@ def test_keys_spread_across_nodes():
 def test_intended_owners_ignore_liveness():
     ring = HashRing(["a", "b", "c"], vnodes=8)
     assert ring.intended_owners("k", 2) == ring.preference_list("k", 2)
+
+
+# ----------------------------------------------------------------------
+# Elastic membership
+
+
+def test_duplicate_nodes_rejected_at_init():
+    with pytest.raises(SimulationError, match="duplicate"):
+        HashRing(["a", "b", "a"])
+
+
+def test_add_node_duplicate_rejected():
+    ring = HashRing(["a", "b"])
+    with pytest.raises(SimulationError, match="duplicate"):
+        ring.add_node("a")
+
+
+def test_remove_node_unknown_rejected():
+    ring = HashRing(["a", "b"])
+    with pytest.raises(SimulationError, match="unknown"):
+        ring.remove_node("zebra")
+
+
+def test_remove_last_node_rejected():
+    ring = HashRing(["a"])
+    with pytest.raises(SimulationError, match="at least one"):
+        ring.remove_node("a")
+
+
+def test_add_node_matches_from_scratch_ring():
+    ring = HashRing(["a", "b", "c"], vnodes=8)
+    ring.add_node("d")
+    fresh = HashRing(["a", "b", "c", "d"], vnodes=8)
+    assert ring._positions == fresh._positions
+    for i in range(50):
+        key = f"key-{i}"
+        assert ring.preference_list(key, 3) == fresh.preference_list(key, 3)
+
+
+def test_remove_node_matches_from_scratch_ring():
+    ring = HashRing(["a", "b", "c", "d"], vnodes=8)
+    ring.remove_node("b")
+    fresh = HashRing(["a", "c", "d"], vnodes=8)
+    assert ring._positions == fresh._positions
+    for i in range(50):
+        key = f"key-{i}"
+        assert ring.preference_list(key, 3) == fresh.preference_list(key, 3)
+
+
+def test_clone_is_independent():
+    ring = HashRing(["a", "b", "c"], vnodes=8)
+    snapshot = ring.clone()
+    ring.add_node("d")
+    assert "d" in ring.nodes
+    assert "d" not in snapshot.nodes
+    assert len(snapshot._positions) == 3 * 8
+
+
+def test_moved_ranges_exact_over_keys():
+    """A key's owner list changed iff the key hashes into a moved arc."""
+    before = HashRing(["a", "b", "c", "d"], vnodes=8)
+    after = before.clone()
+    after.add_node("e")
+    moved = moved_ranges(before, after, n=3)
+    assert moved  # a join always moves something
+    changed = 0
+    for i in range(500):
+        key = f"key-{i}"
+        owners_changed = (
+            before.preference_list(key, 3) != after.preference_list(key, 3)
+        )
+        in_arc = any(arc.contains_key(key) for arc in moved)
+        assert owners_changed == in_arc, key
+        changed += owners_changed
+    assert 0 < changed < 500
+
+
+def test_moved_ranges_identical_rings_move_nothing():
+    ring = HashRing(["a", "b", "c"], vnodes=8)
+    assert moved_ranges(ring, ring.clone(), n=3) == []
+
+
+def test_moved_range_gained_and_lost():
+    before = HashRing(["a", "b", "c", "d"], vnodes=8)
+    after = before.clone()
+    after.remove_node("c")
+    for arc in moved_ranges(before, after, n=3):
+        assert "c" not in arc.new_owners
+        for node in arc.gained:
+            assert node in arc.new_owners and node not in arc.old_owners
+        for node in arc.lost:
+            assert node in arc.old_owners and node not in arc.new_owners
+
+
+def test_moved_range_contains_hash_wraps():
+    from repro.dynamo.ring import MovedRange, RING_SIZE
+
+    arc = MovedRange(RING_SIZE - 10, 5, ("a",), ("b",))
+    assert arc.contains_hash(RING_SIZE - 1)
+    assert arc.contains_hash(0)
+    assert arc.contains_hash(4)
+    assert not arc.contains_hash(5)
+    assert not arc.contains_hash(RING_SIZE - 11)

@@ -1,0 +1,84 @@
+"""The BENCH_sim.json regression gates: wall-time floor and heap ceiling."""
+
+from repro.perf.harness import (
+    BenchReport,
+    WorkloadResult,
+    check_heap_regression,
+    check_regression,
+)
+
+
+def _result(name, events_per_sec=1000.0, heap_per_event=100.0):
+    return WorkloadResult(
+        name=name,
+        description="synthetic",
+        scale=10,
+        events=100,
+        wall_s=0.1,
+        events_per_sec=events_per_sec,
+        peak_heap_bytes=int(heap_per_event * 100),
+        peak_heap_bytes_per_event=heap_per_event,
+        trace_overhead_frac=None,
+    )
+
+
+def _baseline(**workloads):
+    return {"workloads": {
+        name: {"events_per_sec": rate, "peak_heap_bytes_per_event": heap}
+        for name, (rate, heap) in workloads.items()
+    }}
+
+
+def test_wall_gate_passes_within_floor():
+    report = BenchReport("quick", [_result("w", events_per_sec=750.0)])
+    assert check_regression(report, _baseline(w=(1000.0, 100.0))) == []
+
+
+def test_wall_gate_fails_below_floor():
+    report = BenchReport("quick", [_result("w", events_per_sec=600.0)])
+    failures = check_regression(report, _baseline(w=(1000.0, 100.0)))
+    assert len(failures) == 1 and "w" in failures[0]
+
+
+def test_heap_gate_passes_within_ceiling():
+    report = BenchReport("quick", [_result("w", heap_per_event=125.0)])
+    assert check_heap_regression(report, _baseline(w=(1000.0, 100.0))) == []
+
+
+def test_heap_gate_fails_beyond_ceiling():
+    report = BenchReport("quick", [_result("w", heap_per_event=135.0)])
+    failures = check_heap_regression(report, _baseline(w=(1000.0, 100.0)))
+    assert len(failures) == 1 and "w" in failures[0]
+
+
+def test_heap_gate_ignores_improvements():
+    report = BenchReport("quick", [_result("w", heap_per_event=10.0)])
+    assert check_heap_regression(report, _baseline(w=(1000.0, 100.0))) == []
+
+
+def test_new_workloads_are_not_regressions():
+    """Both gates skip workloads the baseline has never measured."""
+    report = BenchReport("quick", [_result("brand_new")])
+    baseline = _baseline(other=(1000.0, 100.0))
+    assert check_regression(report, baseline) == []
+    assert check_heap_regression(report, baseline) == []
+
+
+def test_zero_baseline_entries_skipped():
+    report = BenchReport("quick", [_result("w")])
+    baseline = _baseline(w=(0.0, 0.0))
+    assert check_regression(report, baseline) == []
+    assert check_heap_regression(report, baseline) == []
+
+
+def test_checked_in_baseline_has_heap_numbers():
+    """BENCH_sim.json itself must stay gateable: every workload entry
+    carries the fields both gates read."""
+    import json
+
+    with open("BENCH_sim.json") as fh:
+        baseline = json.load(fh)
+    assert baseline["workloads"], "empty baseline"
+    for name, entry in baseline["workloads"].items():
+        assert entry.get("events_per_sec", 0) > 0, name
+        assert entry.get("peak_heap_bytes_per_event", 0) > 0, name
