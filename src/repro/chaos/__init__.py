@@ -22,7 +22,9 @@ from repro.chaos.plan import (
     Episode,
     LinkFaultEpisode,
     PartitionEpisode,
+    WanCutEpisode,
 )
+from repro.chaos.game_day import GameDayScenario, GameDaySpec
 from repro.chaos.rejoin import RejoinScenario
 from repro.chaos.retrystorm import RetryStormScenario
 from repro.chaos.scenarios import (
@@ -58,6 +60,8 @@ __all__ = [
     "DiskFaultEpisode",
     "Episode",
     "FailingCase",
+    "GameDayScenario",
+    "GameDaySpec",
     "InvariantMonitor",
     "LinkFaultEpisode",
     "PartitionEpisode",
@@ -65,6 +69,7 @@ __all__ = [
     "RetryStormScenario",
     "SweepResult",
     "Violation",
+    "WanCutEpisode",
     "balance_matches_entries",
     "escrow_non_negative",
     "no_duplicate_debits",

@@ -13,11 +13,17 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
-from repro.chaos.plan import ChaosPlan, DiskFaultEpisode, LinkFaultEpisode
+from repro.chaos.plan import (
+    ChaosPlan,
+    DiskFaultEpisode,
+    LinkFaultEpisode,
+    WanCutEpisode,
+)
 from repro.cluster.failure import CrashPlan, FailureInjector
 from repro.errors import SimulationError
 from repro.net.network import NetFault, Network
 from repro.net.partition import PartitionSchedule, PartitionWindow
+from repro.net.topology import SiteFault, TopologyNetwork
 from repro.sim.scheduler import Simulator
 from repro.storage.disk import Disk
 
@@ -61,6 +67,8 @@ class ChaosEngine:
             ).install()
         for episode in plan.link_faults:
             self._install_link_fault(episode)
+        for episode in plan.wan_cuts:
+            self._install_wan_cut(episode)
         for episode in plan.disk_faults:
             self._install_disk_fault(episode)
         self.installed = plan
@@ -92,6 +100,18 @@ class ChaosEngine:
                 raise SimulationError(f"plan crashes unknown node {episode.node!r}")
         if (plan.partitions or plan.link_faults) and self.targets.network is None:
             raise SimulationError("plan needs a network target")
+        if plan.wan_cuts:
+            network = self.targets.network
+            if not isinstance(network, TopologyNetwork):
+                raise SimulationError(
+                    "plan cuts WAN links but the network has no topology"
+                )
+            for episode in plan.wan_cuts:
+                for site in (episode.site_a, episode.site_b):
+                    if site not in network.topology.sites:
+                        raise SimulationError(
+                            f"plan cuts unknown site {site!r}"
+                        )
         for episode in plan.disk_faults:
             if episode.disk not in self.targets.disks:
                 raise SimulationError(f"plan faults unknown disk {episode.disk!r}")
@@ -107,6 +127,28 @@ class ChaosEngine:
         network = self.targets.network
         self.sim.schedule_at(episode.start, network.inject_fault, fault)
         self.sim.schedule_at(episode.end, network.clear_fault, fault)
+
+    def _install_wan_cut(self, episode: WanCutEpisode) -> None:
+        """Cut (or degrade) both directions of a site pair for the
+        window. Two directional :class:`SiteFault` overlays, injected and
+        cleared as a unit; ``restore()``'s ``clear_all_faults`` sweeps
+        them up if the window outlives the horizon."""
+        network = self.targets.network
+        faults = tuple(
+            SiteFault(
+                loss_probability=episode.loss,
+                topology=network.topology,
+                src_site=a,
+                dst_site=b,
+            )
+            for a, b in (
+                (episode.site_a, episode.site_b),
+                (episode.site_b, episode.site_a),
+            )
+        )
+        for fault in faults:
+            self.sim.schedule_at(episode.start, network.inject_fault, fault)
+            self.sim.schedule_at(episode.end, network.clear_fault, fault)
 
     def _install_disk_fault(self, episode: DiskFaultEpisode) -> None:
         disk = self.targets.disks[episode.disk]

@@ -127,13 +127,38 @@ class DiskFaultEpisode:
         return self.repair_at if self.repair_at is not None else self.at
 
 
-Episode = Union[CrashEpisode, PartitionEpisode, LinkFaultEpisode, DiskFaultEpisode]
+@dataclass(frozen=True)
+class WanCutEpisode:
+    """The WAN between two *sites* is cut (loss=1.0) or degraded from
+    ``start`` to ``end`` — one episode partitions whole datacenters at
+    once. Needs a topology-aware network target."""
+
+    start: float
+    end: float
+    site_a: str
+    site_b: str
+    loss: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise SimulationError(f"empty WAN cut [{self.start}, {self.end}]")
+        if self.site_a == self.site_b:
+            raise SimulationError(f"WAN cut needs two sites, got {self.site_a!r}")
+        if not 0.0 < self.loss <= 1.0:
+            raise SimulationError(f"bad WAN cut loss {self.loss}")
+
+
+Episode = Union[
+    CrashEpisode, PartitionEpisode, LinkFaultEpisode, DiskFaultEpisode,
+    WanCutEpisode,
+]
 
 _EPISODE_KINDS = {
     "crash": CrashEpisode,
     "partition": PartitionEpisode,
     "link_fault": LinkFaultEpisode,
     "disk_fault": DiskFaultEpisode,
+    "wan_cut": WanCutEpisode,
 }
 
 
@@ -183,6 +208,10 @@ class ChaosPlan:
         return tuple(e for e in self.episodes if isinstance(e, DiskFaultEpisode))
 
     @property
+    def wan_cuts(self) -> Tuple[WanCutEpisode, ...]:
+        return tuple(e for e in self.episodes if isinstance(e, WanCutEpisode))
+
+    @property
     def horizon(self) -> float:
         """Latest simulated time the plan references."""
         return max((e.end for e in self.episodes), default=0.0)
@@ -225,6 +254,11 @@ class ChaosPlan:
                     f"link fault [{episode.start:g}, {episode.end:g}] {where} "
                     f"loss={episode.loss:g} dup={episode.duplicate:g} "
                     f"delay+={episode.extra_delay:g}"
+                )
+            elif isinstance(episode, WanCutEpisode):
+                lines.append(
+                    f"wan cut    [{episode.start:g}, {episode.end:g}] "
+                    f"{episode.site_a}<->{episode.site_b} loss={episode.loss:g}"
                 )
             else:
                 what = (
@@ -286,6 +320,9 @@ class ChaosSpec:
 
     nodes: Tuple[str, ...]
     disks: Tuple[str, ...] = ()
+    site_pairs: Tuple[Tuple[str, str], ...] = ()
+    max_wan_cuts: int = 0
+    wan_cut_loss: float = 1.0
     horizon: float = 40.0
     min_crashes: int = 0
     max_crashes: int = 2
@@ -301,6 +338,7 @@ class ChaosSpec:
     def __post_init__(self) -> None:
         self.nodes = tuple(self.nodes)
         self.disks = tuple(self.disks)
+        self.site_pairs = tuple(tuple(pair) for pair in self.site_pairs)
         if not self.nodes:
             raise SimulationError("chaos spec needs at least one node")
         if self.horizon <= 0:
@@ -352,6 +390,25 @@ class ChaosSpec:
                     extra_delay=round(rng.uniform(0.0, self.fault_extra_delay), 6),
                 )
             )
+
+        # Drawn only when site pairs exist, so specs without a topology
+        # sample bit-identical plans to before WAN cuts were a kind.
+        if self.site_pairs and self.max_wan_cuts:
+            for _ in range(rng.randint(0, self.max_wan_cuts)):
+                site_a, site_b = rng.choice(self.site_pairs)
+                start = rng.uniform(0.05 * self.horizon, 0.6 * self.horizon)
+                end = min(
+                    start + rng.uniform(self.min_episode, self.max_episode),
+                    latest,
+                )
+                if end <= start:
+                    continue
+                episodes.append(
+                    WanCutEpisode(
+                        round(start, 4), round(end, 4), site_a, site_b,
+                        loss=self.wan_cut_loss,
+                    )
+                )
 
         if self.disks:
             for _ in range(rng.randint(0, self.max_disk_faults)):

@@ -30,7 +30,9 @@ from repro.chaos.plan import (
     Episode,
     LinkFaultEpisode,
     PartitionEpisode,
+    WanCutEpisode,
 )
+from repro.chaos.game_day import GameDayScenario
 from repro.chaos.rejoin import RejoinScenario
 from repro.chaos.retrystorm import RetryStormScenario
 from repro.chaos.ring_rebalance import RingRebalanceScenario
@@ -238,7 +240,9 @@ class ChaosRunner:
             if episode.back_at is not None:
                 # Stays-down is simpler than crash-and-restart.
                 out.append(replace(episode, back_at=None))
-        elif isinstance(episode, (PartitionEpisode, LinkFaultEpisode)):
+        elif isinstance(
+            episode, (PartitionEpisode, LinkFaultEpisode, WanCutEpisode)
+        ):
             width = episode.end - episode.start
             if width > 2 * self.min_window:
                 out.append(replace(episode, end=episode.start + width / 2))
@@ -259,6 +263,7 @@ class ChaosRunner:
 _SCENARIOS: dict = {
     "bank": BankClearingScenario,
     "cart": CartDynamoScenario,
+    "game-day": GameDayScenario,
     "rejoin": RejoinScenario,
     "retry-storm": RetryStormScenario,
     "ring-rebalance": RingRebalanceScenario,
@@ -395,6 +400,16 @@ def smoke(seeds: Sequence[int], report_path: Optional[str] = None) -> int:
         failed = True
     if any(not case.replay_matches for case in unfenced.failures):
         print("FAIL: a minimal split-brain plan did not replay bit-for-bit")
+        failed = True
+
+    # The geo game day: 100+ processes across three DCs, WAN cut + retry
+    # storm + slow disk at once. Fenced + phi-accrual must come out with
+    # zero violations. Two seeds — each run is a full multi-DC day.
+    game_day_scenario = GameDayScenario(policy="fenced", detector="phi")
+    game_day = _sweep(game_day_scenario, seeds[:2])
+    entries.append(_report_entry(game_day_scenario, game_day))
+    if game_day.failures:
+        print("FAIL: fenced+phi game day violated an invariant")
         failed = True
 
     broken_scenario = BankClearingScenario(policy="amnesiac-restart")

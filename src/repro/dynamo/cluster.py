@@ -90,11 +90,17 @@ class DynamoCluster:
         hinted_handoff: bool = True,
         read_repair: bool = True,
         snapshot_cadence: Optional[float] = None,
+        network: Optional[Network] = None,
     ) -> None:
         if not 1 <= r <= n or not 1 <= w <= n or n > num_nodes:
             raise SimulationError(f"bad quorum config N={n} R={r} W={w}")
         self.sim = sim or Simulator(seed=seed)
-        self.network = Network(
+        if network is not None and network.sim is not self.sim:
+            raise SimulationError("network belongs to a different simulator")
+        # A caller-supplied network (e.g. a multi-site TopologyNetwork)
+        # lets the ring share one fabric with other subsystems;
+        # message_latency only shapes the fallback flat fabric.
+        self.network = network or Network(
             self.sim, default_link=LinkConfig(latency=FixedLatency(message_latency))
         )
         self.n, self.r, self.w = n, r, w
@@ -166,11 +172,19 @@ class DynamoCluster:
         for node in list(self.nodes.values()):
             if not self.alive(node.name):
                 continue
+            # Peers that already failed this round. A fault overlay (say,
+            # a WAN cut — reachable() only sees hard partitions) turns
+            # every push to a cut-off peer into a timeout; without this
+            # skip set the node burns the retry policy's full budget per
+            # key × peer and starves its *intra-site* peers of the round.
+            unresponsive: set = set()
             try:
                 for key, versions in list(node.store.items()):
                     owners = self.ring.intended_owners(key, self.n)
                     for owner in owners:
                         if owner == node.name or owner not in self.nodes:
+                            continue
+                        if owner in unresponsive:
                             continue
                         if not self.network.reachable(node.name, owner):
                             continue
@@ -194,6 +208,7 @@ class DynamoCluster:
                             # between the liveness check and the call)
                             # must not abort the whole round: skip it,
                             # count it, keep going with the others.
+                            unresponsive.add(owner)
                             self.sim.metrics.inc("dynamo.anti_entropy_errors")
             except (CrashedError, SimulationError):
                 # The *source* node died under us: its remaining pushes
@@ -296,8 +311,14 @@ class DynamoCluster:
 
         stats = {"digest_msgs": 0, "bucket_msgs": 0, "versions_moved": 0}
         names = sorted(self.nodes)
+        # Same per-round isolation as run_anti_entropy_round: once a peer
+        # times out (a soft cut reachable() cannot see), skip its other
+        # pairings this round instead of paying the timeout N more times.
+        unresponsive: set = set()
         for i, a_name in enumerate(names):
             for b_name in names[i + 1:]:
+                if a_name in unresponsive or b_name in unresponsive:
+                    continue
                 if not (self.alive(a_name) and self.alive(b_name)):
                     continue
                 if not self.network.reachable(a_name, b_name):
@@ -311,6 +332,7 @@ class DynamoCluster:
                 except _PEER_ERRORS + (SimulationError,):
                     # A peer (or our own endpoint) failing mid-round must
                     # not abort the round: the remaining pairs still sync.
+                    unresponsive.add(b_name)
                     self.sim.metrics.inc("dynamo.anti_entropy_errors")
                     continue
                 stats["digest_msgs"] += 1
@@ -334,6 +356,7 @@ class DynamoCluster:
                             policy=REPLICATION_POLICY,
                         )
                     except _PEER_ERRORS + (SimulationError,):
+                        unresponsive.add(b_name)
                         self.sim.metrics.inc("dynamo.anti_entropy_errors")
                         break
                     stats["bucket_msgs"] += 1

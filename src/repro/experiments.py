@@ -125,6 +125,16 @@ EXPERIMENTS: Tuple[Experiment, ...] = (
         "benchmarks/bench_e16_ring_rebalance.py",
     ),
     Experiment(
+        "E17", "Geo-scale game day",
+        "§2–3/§5.1 at WAN scale: three datacenters on a site-routed "
+        "fabric under a compound WAN cut + retry storm + slow disk; "
+        "fenced + phi-accrual takeover survives with zero invariant "
+        "violations and zero lost acked writes, unfenced loses the "
+        "post-takeover acks to the healed stale tail",
+        ("repro.net.topology", "repro.chaos.game_day", "repro.failover"),
+        "benchmarks/bench_e17_game_day.py",
+    ),
+    Experiment(
         "A1", "Hinted handoff availability",
         "§6.1: sloppy quorum keeps PUTs available past strict-quorum failure",
         ("repro.dynamo",), "benchmarks/bench_a01_hinted_handoff.py",

@@ -58,22 +58,30 @@ class LogShippingSystem:
         seed: int = 0,
         sim: Optional[Simulator] = None,
         snapshot_cadence: Optional[float] = None,
+        network: Optional[Network] = None,
     ) -> None:
         self.mode = ShipMode(mode)
         self.ship_interval = ship_interval
         self.snapshot_cadence = snapshot_cadence
         self.sim = sim or Simulator(seed=seed)
-        self.network = Network(
+        if network is not None and network.sim is not self.sim:
+            raise SimulationError("network belongs to a different simulator")
+        external_network = network is not None
+        self.network = network or Network(
             self.sim, default_link=LinkConfig(latency=FixedLatency(lan_latency))
         )
-        wan = wan_latency or ExponentialLatency(floor=0.02, mean_extra=0.005)
         self.sites = {
             name: DatabaseReplica(
                 self.sim, self.network, name, disk_service_time=disk_service_time
             )
             for name in ("east", "west")
         }
-        self.network.set_link("east", "west", LinkConfig(latency=wan))
+        if not external_network:
+            # On the private flat fabric the east<->west hop is the WAN.
+            # A caller-supplied network (a multi-site TopologyNetwork)
+            # already routes that hop by site placement.
+            wan = wan_latency or ExponentialLatency(floor=0.02, mean_extra=0.005)
+            self.network.set_link("east", "west", LinkConfig(latency=wan))
         self.serving = "east"
         self.epoch = 0
         self.failover_time: Optional[float] = None

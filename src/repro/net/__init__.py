@@ -15,8 +15,15 @@ from repro.net.latency import (
     UniformLatency,
     ExponentialLatency,
 )
-from repro.net.network import Network, LinkConfig
+from repro.net.network import Network, LinkConfig, NetFault
 from repro.net.partition import PartitionSchedule
+from repro.net.topology import (
+    Site,
+    SiteFault,
+    Topology,
+    TopologyNetwork,
+    WanLink,
+)
 from repro.net.rpc import Endpoint, RpcClient, rpc_call
 
 __all__ = [
@@ -27,7 +34,13 @@ __all__ = [
     "ExponentialLatency",
     "Network",
     "LinkConfig",
+    "NetFault",
     "PartitionSchedule",
+    "Site",
+    "SiteFault",
+    "Topology",
+    "TopologyNetwork",
+    "WanLink",
     "Endpoint",
     "RpcClient",
     "rpc_call",

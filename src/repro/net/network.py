@@ -214,7 +214,7 @@ class Network:
             and not config.duplicate_probability
         ):
             self.sim.schedule(
-                config.latency.sample(self._rng), self._deliver, msg
+                self._transit_delay(msg, config), self._deliver, msg
             )
             ctr = self._ctr_sent
             if ctr is None:
@@ -249,10 +249,17 @@ class Network:
                 self.sim.metrics.inc("net.duplicated")
             extra_delay += fault.extra_delay
         for _ in range(copies):
-            delay = config.latency.sample(self._rng) + extra_delay
+            delay = self._transit_delay(msg, config) + extra_delay
             self.sim.schedule(delay, self._deliver, msg)
         self.sim.metrics.inc("net.sent")
         return True
+
+    def _transit_delay(self, msg: Message, config: LinkConfig) -> float:
+        """One delivery's transit time. The single seam subclasses override
+        to route latency differently (site-aware topologies); the base
+        fabric draws exactly one sample from the link's latency model, so
+        overriding it cannot perturb the base class's RNG stream."""
+        return config.latency.sample(self._rng)
 
     def _deliver(self, msg: Message) -> None:
         # Re-check reachability at delivery time: a partition or crash that

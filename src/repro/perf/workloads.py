@@ -33,6 +33,9 @@ The five-plus workloads cover the kernel's load-bearing paths:
 - ``ring_rebalance``— elastic membership: a preloaded ring takes a join
                       and a decommission back to back (moved-range
                       computation + range-scoped Merkle transfer).
+- ``game_day``      — seeded geo game-day sweeps: 100+ processes across
+                      three sites on a TopologyNetwork under the
+                      compound WAN-cut/storm/slow-disk plan.
 """
 
 from __future__ import annotations
@@ -313,6 +316,24 @@ def ring_rebalance(scale: int, trace: bool = True) -> WorkloadRun:
     return WorkloadRun(events=sim.steps, notes={"keys": scale, "moved": moved})
 
 
+def game_day(scale: int, trace: bool = True) -> WorkloadRun:
+    """Geo game-day sweep: one full fenced+phi multi-DC run per seed —
+    site-routed delivery, the WAN bandwidth pipe, compound fault
+    install/restore, and the quiesce repair rounds, at 100+ endpoints."""
+    from repro.chaos.game_day import GameDayScenario
+
+    events = 0
+    violations = 0
+    for seed in range(scale):
+        scenario = GameDayScenario(policy="fenced", detector="phi")
+        report = scenario.run(seed, scenario.spec().sample(seed))
+        events += scenario._sim.steps
+        violations += len(report.violations)
+    return WorkloadRun(
+        events=events, notes={"seeds": scale, "violations": violations}
+    )
+
+
 WORKLOADS: Dict[str, Workload] = {
     "sched_churn": Workload(
         sched_churn, quick_scale=150_000, full_scale=600_000,
@@ -354,6 +375,10 @@ WORKLOADS: Dict[str, Workload] = {
     "ring_rebalance": Workload(
         ring_rebalance, quick_scale=600, full_scale=3_000,
         description="elastic ring join + decommission with range transfer",
+    ),
+    "game_day": Workload(
+        game_day, quick_scale=2, full_scale=8,
+        description="geo game-day sweep: 3 DCs, compound faults, 100+ procs",
     ),
 }
 

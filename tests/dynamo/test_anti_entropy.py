@@ -1,7 +1,15 @@
 """Node-to-node anti-entropy: replicas converge without client reads."""
 
 from repro.dynamo import DynamoCluster
-from repro.sim import Timeout
+from repro.net import (
+    FixedLatency,
+    LinkConfig,
+    Site,
+    Topology,
+    TopologyNetwork,
+    WanLink,
+)
+from repro.sim import Simulator, Timeout
 
 
 def test_anti_entropy_heals_a_missed_write():
@@ -59,3 +67,72 @@ def test_anti_entropy_spreads_siblings_everywhere():
     for values in frontiers:
         assert values == {"a", "b"}
     assert cluster.converged_on("k")
+
+
+def test_anti_entropy_survives_wan_cut_without_starving_intra_site_peers():
+    """A WAN cut is a fault overlay, not a partition: cut-off peers still
+    look reachable, so every push to them times out. The round must mark
+    them unresponsive after the first timeout (counting
+    ``dynamo.anti_entropy_errors``) and keep syncing intra-site peers
+    instead of burning the retry budget per key."""
+    sim = Simulator(seed=31)
+    lan = FixedLatency(0.001)
+    topology = Topology(
+        [Site("a", lan=lan), Site("b", lan=lan)],
+        default_wan=WanLink(FixedLatency(0.02)),
+    )
+    network = TopologyNetwork(
+        sim, topology, default_link=LinkConfig(latency=lan)
+    )
+    cluster = DynamoCluster(
+        num_nodes=6, n=3, r=1, w=1, sim=sim, network=network,
+        read_repair=False,
+    )
+    remote = "node5"
+    topology.place(remote, "b")
+    topology.place_all((n for n in cluster.nodes if n != remote), "a")
+    client = cluster.client("writer")
+    topology.place("writer", "a")
+
+    # One key whose owners are all intra-site (victim misses the write),
+    # one key owned by the cut-off remote node (remote misses it).
+    local_key = next(
+        k for k in (f"lk{i}" for i in range(100))
+        if remote not in cluster.ring.intended_owners(k, 3)
+    )
+    remote_key = next(
+        k for k in (f"rk{i}" for i in range(100))
+        if remote in cluster.ring.intended_owners(k, 3)
+        and cluster.ring.intended_owners(k, 3)[0] != remote
+    )
+    victim = cluster.ring.intended_owners(local_key, 3)[1]
+
+    def scenario():
+        cluster.crash(victim)
+        cluster.crash(remote)
+        yield from client.put(local_key, "lv")
+        yield from client.put(remote_key, "rv")
+        cluster.restart(victim)
+        cluster.restart(remote)
+        yield Timeout(0.05)
+        faults = network.cut_sites("a", "b")
+        start = sim.now
+        yield from cluster.run_anti_entropy_round()
+        cut_round_cost = sim.now - start
+        network.heal_sites(faults)
+        yield from cluster.run_anti_entropy_round()
+        yield Timeout(0.05)
+        return cut_round_cost
+
+    cut_round_cost = sim.run_process(scenario())
+    # Intra-site repair proceeded under the cut, cross-site pushes were
+    # counted as errors, and the round's timeout burn stayed bounded by
+    # the per-source skip set (one failed push per source, not per key).
+    assert any(
+        v.value == "lv" for v in cluster.nodes[victim].versions_of(local_key)
+    )
+    assert sim.metrics.counter("dynamo.anti_entropy_errors").value >= 1
+    assert cut_round_cost < 5.0
+    # After the heal the next round converges the cut-off site too.
+    assert cluster.converged_on(remote_key)
+    assert cluster.converged_on(local_key)

@@ -18,8 +18,12 @@ from typing import Any, Dict, Tuple
 
 from repro.chaos.scenarios import BankClearingScenario, CartDynamoScenario
 from repro.errors import TransactionAborted
-from repro.logship import LogShippingSystem
+from repro.logship import LogShippingSystem, ShipMode
+from repro.net.latency import FixedLatency
+from repro.net.network import LinkConfig
+from repro.net.topology import Site, Topology, TopologyNetwork, WanLink
 from repro.sim.events import Timeout
+from repro.sim.scheduler import Simulator
 from repro.tandem import TandemConfig, TandemSystem
 
 FIXTURES = Path(__file__).parent / "fixtures"
@@ -121,9 +125,51 @@ def run_recovery(seed: int = 5) -> Tuple[str, str]:
     return render_trace(sim), render_counters(counters)
 
 
+def run_geo(seed: int = 13) -> Tuple[str, str]:
+    """The frozen two-datacenter run: log shipping across a
+    :class:`TopologyNetwork` (east in one site, west + client in the
+    other), a scripted WAN cut mid-stream, writes acked locally while
+    shipping retries into the cut, then heal and drain. Pins the
+    site-routed latency path, the site-pair fault overlay, and the
+    bandwidth pipe bit-for-bit."""
+    sim = Simulator(seed=seed)
+    lan = FixedLatency(0.0005)
+    topology = Topology(
+        [Site("dc-a", lan=lan), Site("dc-b", lan=lan)],
+        default_wan=WanLink(FixedLatency(0.02), bandwidth=500.0),
+    )
+    network = TopologyNetwork(
+        sim, topology, default_link=LinkConfig(latency=FixedLatency(0.001))
+    )
+    system = LogShippingSystem(
+        mode=ShipMode.ASYNC, ship_interval=0.02, sim=sim, network=network
+    )
+    topology.place("east", "dc-a")
+    topology.place_all(("west", "lsclient"), "dc-b")
+
+    def job():
+        for i in range(6):
+            yield from system.submit({f"k{i % 3}": i})
+            yield Timeout(0.05)
+        faults = network.cut_sites("dc-a", "dc-b")
+        for i in range(6, 12):
+            yield from system.submit({f"k{i % 3}": i})
+            yield Timeout(0.05)
+        network.heal_sites(faults)
+        yield Timeout(2.0)
+
+    sim.run_process(job())
+    counters = sim.metrics.counters()
+    counters["golden.states_match"] = float(
+        system.backup.state == system.primary.state
+    )
+    return render_trace(sim), render_counters(counters)
+
+
 GOLDEN_RUNS = {
     "bank_seed7": run_bank,
     "cart_seed11": run_cart,
+    "geo_seed13": run_geo,
     "recovery_seed5": run_recovery,
     "tandem_seed3": run_tandem,
 }
