@@ -25,6 +25,7 @@ from repro.chaos.plan import (
     WanCutEpisode,
 )
 from repro.chaos.game_day import GameDayScenario, GameDaySpec
+from repro.chaos.mixed_txn import MixedTxnScenario
 from repro.chaos.rejoin import RejoinScenario
 from repro.chaos.retrystorm import RetryStormScenario
 from repro.chaos.scenarios import (
@@ -64,6 +65,7 @@ __all__ = [
     "GameDaySpec",
     "InvariantMonitor",
     "LinkFaultEpisode",
+    "MixedTxnScenario",
     "PartitionEpisode",
     "RejoinScenario",
     "RetryStormScenario",

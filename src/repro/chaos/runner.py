@@ -33,6 +33,7 @@ from repro.chaos.plan import (
     WanCutEpisode,
 )
 from repro.chaos.game_day import GameDayScenario
+from repro.chaos.mixed_txn import MixedTxnScenario
 from repro.chaos.rejoin import RejoinScenario
 from repro.chaos.retrystorm import RetryStormScenario
 from repro.chaos.ring_rebalance import RingRebalanceScenario
@@ -264,6 +265,7 @@ _SCENARIOS: dict = {
     "bank": BankClearingScenario,
     "cart": CartDynamoScenario,
     "game-day": GameDayScenario,
+    "mixed-txn": MixedTxnScenario,
     "rejoin": RejoinScenario,
     "retry-storm": RetryStormScenario,
     "ring-rebalance": RingRebalanceScenario,
@@ -375,6 +377,21 @@ def smoke(seeds: Sequence[int], report_path: Optional[str] = None) -> int:
         entries.append(_report_entry(storm_scenario, storm))
         if storm.failures:
             print(f"FAIL: {storm_policy} retry-storm policy violated an invariant")
+            failed = True
+
+    # Mixed-consistency transactions: a mid-stream partition (short
+    # config) must leave every wrong guess paired with exactly one
+    # executed apology, the escrow conserved, and strong acks unmoved —
+    # both when the cut deposes the leader and when it strands a follower.
+    for txn_cut in ("leader", "minority"):
+        txn_scenario = MixedTxnScenario(
+            cut=txn_cut, horizon=16.0, partition_start=4.0,
+            partition_end=9.0, drain=8.0,
+        )
+        txn = _sweep(txn_scenario, seeds)
+        entries.append(_report_entry(txn_scenario, txn))
+        if txn.failures:
+            print(f"FAIL: mixed-txn ({txn_cut} cut) violated an invariant")
             failed = True
 
     # Fenced automatic takeover survives the split-brain ambiguity...

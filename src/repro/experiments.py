@@ -135,6 +135,16 @@ EXPERIMENTS: Tuple[Experiment, ...] = (
         "benchmarks/bench_e17_game_day.py",
     ),
     Experiment(
+        "E18", "Mixed-consistency transactions",
+        "§5.7/§7.4: weak ops answered immediately from speculative local "
+        "order keep acking through a partition while strong ops stall for "
+        "the fenced total order; the cost is the apology rate — every "
+        "acked guess the post-heal order contradicts becomes a structured, "
+        "compensated apology, and the rate climbs with the cut length",
+        ("repro.txn", "repro.chaos.mixed_txn", "repro.resources"),
+        "benchmarks/bench_e18_mixed_txn.py",
+    ),
+    Experiment(
         "A1", "Hinted handoff availability",
         "§6.1: sloppy quorum keeps PUTs available past strict-quorum failure",
         ("repro.dynamo",), "benchmarks/bench_a01_hinted_handoff.py",

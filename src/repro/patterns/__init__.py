@@ -19,7 +19,12 @@ cast?" This package is that dissection, executable:
 """
 
 from repro.patterns.catalog import Pattern, CATALOG, pattern_by_name
-from repro.patterns.classify import OperationProfile, classify_operation_space
+from repro.patterns.classify import (
+    OP_STRONG,
+    OP_WEAK,
+    OperationProfile,
+    classify_operation_space,
+)
 
 __all__ = [
     "Pattern",
@@ -27,4 +32,6 @@ __all__ = [
     "pattern_by_name",
     "OperationProfile",
     "classify_operation_space",
+    "OP_WEAK",
+    "OP_STRONG",
 ]

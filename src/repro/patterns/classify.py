@@ -16,6 +16,13 @@ from repro.core.operation import Operation, TypeRegistry
 from repro.core.properties import check_acid2
 from repro.patterns.catalog import Pattern, pattern_by_name
 
+#: The two op classes of a mixed-consistency system (PAPERS.md's Creek):
+#: weak ops execute immediately against tentative state and return a
+#: guess; strong ops wait for the total order. ``repro.txn`` consumes
+#: this classification to route each operation type.
+OP_WEAK = "weak"
+OP_STRONG = "strong"
+
 
 @dataclass
 class OperationProfile:
@@ -32,6 +39,27 @@ class OperationProfile:
         return self.cross_type_commutative and all(
             self.per_type_commutative.values()
         )
+
+    def op_class(self, op_type: str) -> str:
+        """The consistency class the measured profile earns ``op_type``.
+
+        A type that measured commutative on the sample rides the weak
+        fast path: execute now, return a guess, stabilize later. A type
+        that failed the permutation check — or one never measured — needs
+        the total order (:data:`OP_STRONG`). Every type maps to exactly
+        one class, and the answer depends only on the measured booleans,
+        never on the insertion order of the profile's dictionaries.
+        """
+        if self.per_type_commutative.get(op_type, False):
+            return OP_WEAK
+        return OP_STRONG
+
+    def op_classes(self) -> Dict[str, str]:
+        """Class per measured type, sorted by type name for stability."""
+        return {
+            name: self.op_class(name)
+            for name in sorted(self.per_type_commutative)
+        }
 
 
 def _is_numeric_delta(sample: Sequence[Operation]) -> bool:

@@ -36,6 +36,10 @@ The five-plus workloads cover the kernel's load-bearing paths:
 - ``game_day``      — seeded geo game-day sweeps: 100+ processes across
                       three sites on a TopologyNetwork under the
                       compound WAN-cut/storm/slow-disk plan.
+- ``mixed_txn``     — seeded mixed-consistency txn sweeps: the guess /
+                      stabilize / apologize hot path (speculative-state
+                      rebuilds, ordering batches, fenced takeover) under
+                      the scripted leader cut.
 """
 
 from __future__ import annotations
@@ -334,6 +338,32 @@ def game_day(scale: int, trace: bool = True) -> WorkloadRun:
     )
 
 
+def mixed_txn(scale: int, trace: bool = True) -> WorkloadRun:
+    """Mixed-consistency txn sweep: one leader-cut run per seed — weak
+    guesses answered from speculative state, ordering batches minted and
+    acked, the fenced takeover, and the post-heal stabilization that
+    rolls the tentative suffix back and apologizes for what changed."""
+    from repro.chaos.mixed_txn import MixedTxnScenario
+
+    events = 0
+    apologies = 0.0
+    violations = 0
+    for seed in range(scale):
+        scenario = MixedTxnScenario(
+            cut="leader", horizon=16.0, partition_start=4.0,
+            partition_end=9.0, drain=8.0,
+        )
+        report = scenario.run(seed, scenario.spec().sample(seed))
+        events += scenario._sim.steps
+        apologies += report.counters.get("txn.apologies", 0.0)
+        violations += len(report.violations)
+    return WorkloadRun(
+        events=events,
+        notes={"seeds": scale, "apologies": apologies,
+               "violations": violations},
+    )
+
+
 WORKLOADS: Dict[str, Workload] = {
     "sched_churn": Workload(
         sched_churn, quick_scale=150_000, full_scale=600_000,
@@ -379,6 +409,10 @@ WORKLOADS: Dict[str, Workload] = {
     "game_day": Workload(
         game_day, quick_scale=2, full_scale=8,
         description="geo game-day sweep: 3 DCs, compound faults, 100+ procs",
+    ),
+    "mixed_txn": Workload(
+        mixed_txn, quick_scale=2, full_scale=8,
+        description="mixed-consistency txn sweep: guess/stabilize/apologize",
     ),
 }
 

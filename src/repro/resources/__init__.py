@@ -16,7 +16,7 @@
 
 from repro.resources.inventory import AllocationOutcome, InventorySystem
 from repro.resources.seats import SeatMap, SeatState
-from repro.resources.fungible import FungiblePool
+from repro.resources.fungible import FungiblePool, ReconcileReport, UnitConflict
 
 __all__ = [
     "AllocationOutcome",
@@ -24,4 +24,6 @@ __all__ = [
     "SeatMap",
     "SeatState",
     "FungiblePool",
+    "ReconcileReport",
+    "UnitConflict",
 ]

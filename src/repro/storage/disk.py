@@ -95,6 +95,21 @@ class Disk:
         self.sim.metrics.inc(f"disk.{self.name}.blocks_read", len(keys))
         return {key: self._blocks[key] for key in keys if key in self._blocks}
 
+    def delete_batch(self, keys: Any) -> Generator[Any, Any, int]:
+        """Timed removal of many blocks in one arm pass (the garbage
+        collection a compacting store runs). Missing keys are ignored;
+        returns how many blocks were actually removed."""
+        keys = list(keys)
+        yield from self._service(len(keys))
+        removed = 0
+        for key in keys:
+            if key in self._blocks:
+                del self._blocks[key]
+                removed += 1
+        self.sim.metrics.inc(f"disk.{self.name}.deletes")
+        self.sim.metrics.inc(f"disk.{self.name}.blocks_deleted", removed)
+        return removed
+
     def peek(self, key: Any) -> Optional[Any]:
         """Zero-time read for tests and recovery tooling."""
         return self._blocks.get(key)

@@ -206,6 +206,68 @@ class SnapshotStore:
         return record
 
     # ------------------------------------------------------------------
+    # Garbage collection
+
+    def chains(self) -> List[List[SnapshotRecord]]:
+        """Every chain on disk, oldest first, reconstructed from the
+        blocks' ``base_id`` links (zero-time; the durable blocks are the
+        truth — capture-side bookkeeping is never consulted).
+
+        Compaction starts a fresh chain but leaves the old one's blocks
+        on disk; this is what :meth:`prune` uses to find them.
+        """
+        records: Dict[int, SnapshotRecord] = {
+            key[1]: value
+            for key, value in self.disk.contents().items()
+            if isinstance(key, tuple) and len(key) == 2 and key[0] == "snap"
+        }
+        child: Dict[int, int] = {
+            record.base_id: snapshot_id
+            for snapshot_id, record in records.items()
+            if record.base_id is not None
+        }
+        found: List[List[SnapshotRecord]] = []
+        for snapshot_id, record in sorted(records.items()):
+            if record.base_id is not None:
+                continue
+            chain = [record]
+            cursor = snapshot_id
+            while cursor in child:
+                cursor = child[cursor]
+                chain.append(records[cursor])
+            found.append(chain)
+        return found
+
+    def prune(self, keep_chains: int = 1) -> Generator[Any, Any, int]:
+        """Delete the blocks of all but the newest ``keep_chains`` chains.
+
+        The live chain — the one the manifest references — is always
+        among the kept ones (it is the newest), and its blocks are
+        additionally excluded outright, so a prune can never drop an LSN
+        the store still covers. Returns the number of blocks deleted.
+        """
+        if keep_chains < 1:
+            raise SimulationError(
+                f"prune must keep at least one chain, got {keep_chains}"
+            )
+        live = set(self.disk.peek(self.MANIFEST) or [])
+        doomed = [
+            ("snap", record.snapshot_id)
+            for chain in self.chains()[:-keep_chains]
+            for record in chain
+            if record.snapshot_id not in live
+        ]
+        if not doomed:
+            return 0
+        deleted = yield from self.disk.delete_batch(doomed)
+        self.sim.metrics.inc(f"snapshot.{self.name}.pruned_blocks", deleted)
+        self.sim.trace.emit(
+            self.name, "snapshot.pruned",
+            blocks=deleted, keep_chains=keep_chains,
+        )
+        return deleted
+
+    # ------------------------------------------------------------------
     # Recovery side
 
     def materialize(self) -> Generator[Any, Any, Optional[MaterializedSnapshot]]:

@@ -1,0 +1,92 @@
+"""Property-based: the op-class mapping is total, binary, and depends
+only on the measured booleans — never on dict insertion order or on the
+order the sample workload was collected in.
+
+``repro.txn`` routes every operation through this classification (weak →
+immediate guess, strong → total order), so an order-dependent answer
+here would make replica behavior depend on who sampled first.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.patterns.classify import (
+    OP_STRONG,
+    OP_WEAK,
+    OperationProfile,
+    classify_operation_space,
+)
+from repro.txn import ResourceMachine, sample_resource_ops
+
+profiles = st.builds(
+    OperationProfile,
+    per_type_commutative=st.dictionaries(
+        st.text(min_size=1, max_size=8), st.booleans(), max_size=8
+    ),
+    cross_type_commutative=st.booleans(),
+    idempotent_via_uniquifier=st.booleans(),
+    numeric_types=st.lists(st.text(min_size=1, max_size=8), max_size=4),
+)
+
+
+@given(profiles)
+@settings(max_examples=200)
+def test_every_type_maps_to_exactly_one_class(profile):
+    classes = profile.op_classes()
+    assert set(classes) == set(profile.per_type_commutative)
+    for op_type in profile.per_type_commutative:
+        assert classes[op_type] in (OP_WEAK, OP_STRONG)
+        assert profile.op_class(op_type) == classes[op_type]
+
+
+@given(profiles)
+@settings(max_examples=200)
+def test_class_follows_the_measured_boolean(profile):
+    for op_type, commutative in profile.per_type_commutative.items():
+        expected = OP_WEAK if commutative else OP_STRONG
+        assert profile.op_class(op_type) == expected
+
+
+@given(profiles, st.text(min_size=1, max_size=8))
+@settings(max_examples=200)
+def test_unmeasured_types_default_to_strong(profile, op_type):
+    if op_type not in profile.per_type_commutative:
+        assert profile.op_class(op_type) == OP_STRONG
+
+
+@given(profiles, st.randoms(use_true_random=False))
+@settings(max_examples=200)
+def test_classification_is_stable_under_field_reordering(profile, rng):
+    """Rebuilding the profile with its dict fields in a different
+    insertion order changes no answer."""
+    items = list(profile.per_type_commutative.items())
+    rng.shuffle(items)
+    numeric = list(profile.numeric_types)
+    rng.shuffle(numeric)
+    shuffled = OperationProfile(
+        per_type_commutative=dict(items),
+        cross_type_commutative=profile.cross_type_commutative,
+        idempotent_via_uniquifier=profile.idempotent_via_uniquifier,
+        numeric_types=numeric,
+    )
+    assert shuffled.op_classes() == profile.op_classes()
+    assert list(shuffled.op_classes()) == sorted(profile.per_type_commutative)
+
+
+@given(st.integers(0, 2**32 - 1))
+@settings(max_examples=25, deadline=None)
+def test_measured_classification_ignores_sample_order(seed):
+    """The end-to-end form ``repro.txn`` relies on: permuting the sample
+    workload never changes which types earn the weak fast path."""
+    machine = ResourceMachine({"seats": 3})
+    baseline = classify_operation_space(
+        machine.registry(), sample_resource_ops()
+    ).op_classes()
+    shuffled_ops = list(sample_resource_ops())
+    random.Random(seed).shuffle(shuffled_ops)
+    shuffled = classify_operation_space(
+        machine.registry(), shuffled_ops
+    ).op_classes()
+    assert shuffled == baseline

@@ -370,3 +370,108 @@ def test_recovery_io_scales_with_tail_not_log(monkeypatch):
         assert replayed == 2
         costs.append(blocks)
     assert costs[0] == costs[1]  # log doubled, recovery IO did not
+
+
+# ----------------------------------------------------------------------
+# Chain reconstruction + prune
+
+
+def test_chains_reconstructed_from_disk_blocks():
+    sim, _wal, store = make_stack(max_chain=3)
+
+    def run():
+        for i in range(1, 6):
+            yield from store.install({"k": i}, lsn=i)
+
+    sim.run_process(run())
+    chains = store.chains()
+    # installs 1..3 form the first chain; 4 compacts, 5 chains onto it
+    assert [[r.snapshot_id for r in chain] for chain in chains] == [
+        [1, 2, 3], [4, 5]
+    ]
+    assert all(chain[0].base_id is None for chain in chains)
+
+
+def test_prune_deletes_only_retired_chains():
+    sim, _wal, store = make_stack(max_chain=2)
+
+    def run():
+        for i in range(1, 8):
+            yield from store.install({"k": i, f"x{i}": i}, lsn=i)
+
+    sim.run_process(run())
+    assert len(store.chains()) > 2
+    before = store.peek_materialize()
+
+    deleted = sim.run_process(store.prune(keep_chains=2))
+    assert deleted > 0
+    assert len(store.chains()) == 2
+    # The survivors still materialize to exactly what was covered.
+    after = store.peek_materialize()
+    assert after.lsn == before.lsn
+    assert after.state == before.state
+
+
+def test_prune_never_drops_a_covered_lsn():
+    """The acceptance property: whatever the compaction cadence, a prune
+    after every install leaves the covered LSN and the materialized
+    state exactly where they were."""
+    for max_chain in (1, 2, 3):
+        for keep_chains in (1, 2):
+            sim, _wal, store = make_stack(max_chain=max_chain)
+            state = {}
+            for i in range(1, 11):
+                state[f"k{i % 4}"] = i
+                state.pop(f"k{(i + 2) % 4}", None)
+
+                def run(snapshot=dict(state), lsn=i):
+                    yield from store.install(snapshot, lsn=lsn)
+                    return (yield from store.prune(keep_chains=keep_chains))
+
+                sim.run_process(run())
+                snap = store.peek_materialize()
+                assert snap is not None, (max_chain, keep_chains, i)
+                assert snap.lsn == i, (max_chain, keep_chains, i)
+                assert snap.state == state, (max_chain, keep_chains, i)
+            assert len(store.chains()) <= keep_chains
+
+
+def test_prune_with_nothing_to_drop_is_a_noop():
+    sim, _wal, store = make_stack(max_chain=4)
+
+    def run():
+        yield from store.install({"a": 1}, lsn=1)
+        yield from store.install({"a": 2}, lsn=2)
+        return (yield from store.prune(keep_chains=2))
+
+    assert sim.run_process(run()) == 0
+    assert len(store.chains()) == 1
+
+
+def test_prune_must_keep_a_chain():
+    sim, _wal, store = make_stack()
+    with pytest.raises(SimulationError):
+        sim.run_process(store.prune(keep_chains=0))
+
+
+def test_pruned_store_recovers_identically():
+    """Recovery after a prune sees the same state as before it: the live
+    chain plus the WAL tail is untouched by the garbage collection."""
+    sim, wal, store = make_stack(max_chain=2)
+
+    def run():
+        for i in range(1, 6):
+            commit(wal, f"t{i}", k=i)
+            yield from wal.flush()
+            yield from store.install({"k": i}, lsn=wal.durable_lsn)
+        commit(wal, "tail", extra=99)
+        yield from wal.flush()
+        result_before = yield from recover(store, wal)
+        yield from store.prune(keep_chains=1)
+        result_after = yield from recover(store, wal)
+        return result_before, result_after
+
+    before, after = sim.run_process(run())
+    assert after.state == before.state
+    assert after.snapshot_lsn == before.snapshot_lsn
+    assert after.replayed_records == before.replayed_records
