@@ -33,6 +33,7 @@ from repro.chaos.plan import (
     WanCutEpisode,
 )
 from repro.chaos.game_day import GameDayScenario
+from repro.chaos.membership_divergence import MembershipDivergenceScenario
 from repro.chaos.mixed_txn import MixedTxnScenario
 from repro.chaos.rejoin import RejoinScenario
 from repro.chaos.retrystorm import RetryStormScenario
@@ -265,6 +266,7 @@ _SCENARIOS: dict = {
     "bank": BankClearingScenario,
     "cart": CartDynamoScenario,
     "game-day": GameDayScenario,
+    "membership-divergence": MembershipDivergenceScenario,
     "mixed-txn": MixedTxnScenario,
     "rejoin": RejoinScenario,
     "retry-storm": RetryStormScenario,
@@ -366,6 +368,16 @@ def smoke(seeds: Sequence[int], report_path: Optional[str] = None) -> int:
     entries.append(_report_entry(rebalance_scenario, rebalance))
     if rebalance.failures:
         print("FAIL: elastic ring_rebalance violated an invariant")
+        failed = True
+
+    # Gossiped membership views diverge under partitions and flapping
+    # links, but must reconverge after heal, never let a refuted
+    # suspicion stick, and lose no acked write while opinions disagree.
+    mship_scenario = MembershipDivergenceScenario()
+    mship = _sweep(mship_scenario, seeds)
+    entries.append(_report_entry(mship_scenario, mship))
+    if mship.failures:
+        print("FAIL: membership_divergence violated an invariant")
         failed = True
 
     # A retry storm is a goodput catastrophe, not a correctness bug:

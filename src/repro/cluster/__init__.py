@@ -11,6 +11,17 @@ schedules, and :class:`Membership` tracks who is currently up.
 from repro.cluster.node import Node
 from repro.cluster.failure import FailureInjector, CrashPlan
 from repro.cluster.membership import Membership
+from repro.cluster.gossip_membership import (
+    ALIVE,
+    DEAD,
+    LEFT,
+    SUSPECT,
+    MemberEntry,
+    MembershipGossip,
+    MembershipView,
+    rumor_wins,
+    views_converged,
+)
 from repro.cluster.process_pair import (
     CheckpointCadence,
     PairedAlgorithm,
@@ -22,6 +33,15 @@ __all__ = [
     "FailureInjector",
     "CrashPlan",
     "Membership",
+    "ALIVE",
+    "SUSPECT",
+    "DEAD",
+    "LEFT",
+    "MemberEntry",
+    "MembershipView",
+    "MembershipGossip",
+    "rumor_wins",
+    "views_converged",
     "CheckpointCadence",
     "PairedAlgorithm",
     "PairResult",

@@ -50,9 +50,11 @@ class Membership:
         self._nodes[node.name] = node
 
     def add_name(self, name: str) -> None:
-        """Add a member with no backing node."""
+        """Add a member with no backing node. Idempotent: re-adding an
+        existing name is a no-op (re-announcing a join is harmless), but
+        it never downgrades a node-backed member to a bare name."""
         if name in self._nodes:
-            raise SimulationError(f"duplicate member {name!r}")
+            return
         self._nodes[name] = None
 
     def remove(self, name: str) -> None:

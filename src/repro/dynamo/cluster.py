@@ -117,12 +117,144 @@ class DynamoCluster:
                 node.snapshotter.start()
         self.ring = HashRing(list(self.nodes), vnodes=16)
         self.membership = Membership.of_names(self.nodes)
+        # Gossip-driven membership (opt-in via attach_gossip_membership):
+        # a per-node MembershipView plus its epidemic disseminator. When
+        # attached, preference lists, anti-entropy, and clients consult
+        # each node's LOCAL view — the shared Membership above stays the
+        # omniscient oracle for experiments that are not studying this.
+        self.views: Optional[Dict[str, Any]] = None
+        self.membership_gossips: Dict[str, Any] = {}
+        self._gossip_until: Optional[float] = None
         self._client_ids = itertools.count(1)
         for node in self.nodes.values():
             self._register_merkle_handlers(node)
 
-    def client(self, name: Optional[str] = None) -> "DynamoClient":
-        return DynamoClient(self, name or f"dynclient{next(self._client_ids)}")
+    def client(
+        self, name: Optional[str] = None, view_of: Optional[str] = None
+    ) -> "DynamoClient":
+        """A coordinator client. ``view_of`` names a node whose local
+        gossip view the client routes by (the coordinator is co-located
+        with that node, §4.2-style); None keeps the oracle-free
+        reachability-only behavior."""
+        view = None
+        if view_of is not None:
+            if self.views is None or view_of not in self.views:
+                raise SimulationError(
+                    f"no gossip membership view for {view_of!r}"
+                )
+            view = self.views[view_of]
+        return DynamoClient(
+            self, name or f"dynclient{next(self._client_ids)}", view=view
+        )
+
+    # ------------------------------------------------------------------
+    # Gossip-driven membership
+
+    def attach_gossip_membership(
+        self,
+        period: float = 0.25,
+        fanout: int = 2,
+        suspicion_timeout: float = 1.5,
+        full_sync_every: int = 4,
+    ) -> None:
+        """Give every node a local :class:`MembershipView` disseminated
+        epidemically over the nodes' own endpoints. From here on, who is
+        alive is a *rumor*: detectors and failed gossip probes suspect
+        into local views, refutations outrank accusations, and no node
+        can consult the cluster-object oracle on behalf of another."""
+        from repro.cluster.gossip_membership import (
+            MembershipGossip,
+            MembershipView,
+        )
+
+        if self.views is not None:
+            raise SimulationError("gossip membership already attached")
+        names = list(self.nodes)
+        self.views = {}
+        for name, node in self.nodes.items():
+            view = MembershipView(
+                name, self.sim, suspicion_timeout=suspicion_timeout
+            )
+            view.seed(names)
+            self.views[name] = view
+            self.membership_gossips[name] = MembershipGossip(
+                view, endpoint=node.endpoint, period=period, fanout=fanout,
+                full_sync_every=full_sync_every,
+            )
+
+    def start_membership_gossip(self, until: Optional[float] = None) -> None:
+        if self.views is None:
+            raise SimulationError("attach_gossip_membership first")
+        self._gossip_until = until
+        for gossip in self.membership_gossips.values():
+            gossip.run(until)
+
+    def stop_membership_gossip(self) -> None:
+        for gossip in self.membership_gossips.values():
+            gossip.stop()
+        self._gossip_until = None
+
+    def view_of(self, name: str) -> Any:
+        if self.views is None or name not in self.views:
+            raise SimulationError(f"no gossip membership view for {name!r}")
+        return self.views[name]
+
+    def _usable_by(self, observer: str, target: str) -> bool:
+        """Liveness as ``observer`` believes it: its local gossip view
+        when one is attached (possibly stale, possibly wrong), else the
+        shared oracle."""
+        if self.views is not None and observer in self.views:
+            return self.views[observer].is_usable(target)
+        return self.alive(target)
+
+    def _bootstrap_gossip_view(
+        self, node_name: str
+    ) -> Generator[Any, Any, None]:
+        """Seed a joiner's view: it knows itself plus one introducer (the
+        first reachable peer, deterministically), then runs one full
+        push-pull with it — after which both sides hold each other and
+        the epidemic does the rest."""
+        from repro.cluster.gossip_membership import (
+            MembershipGossip,
+            MembershipView,
+        )
+
+        template = next(iter(self.views.values()), None)
+        view = MembershipView(
+            node_name, self.sim,
+            suspicion_timeout=(
+                template.suspicion_timeout if template is not None else 1.5
+            ),
+        )
+        introducer = next(
+            (
+                name for name in sorted(self.views)
+                if self.alive(name)
+                and self.network.reachable(node_name, name)
+            ),
+            None,
+        )
+        gossip = MembershipGossip(
+            view, endpoint=self.nodes[node_name].endpoint,
+            period=self._gossip_period(), fanout=self._gossip_fanout(),
+        )
+        self.views[node_name] = view
+        self.membership_gossips[node_name] = gossip
+        if introducer is not None:
+            view.seed([introducer])
+            yield from gossip.round_once(force_full=True)
+        if self._gossip_until is not None:
+            gossip.run(self._gossip_until)
+
+    def _gossip_period(self) -> float:
+        for gossip in self.membership_gossips.values():
+            return gossip.period
+        return 0.25
+
+    def _gossip_fanout(self) -> int:
+        for gossip in self.membership_gossips.values():
+            return gossip.fanout
+        return 2
 
     def alive(self, node_name: str) -> bool:
         return (
@@ -185,6 +317,14 @@ class DynamoCluster:
                         if owner == node.name or owner not in self.nodes:
                             continue
                         if owner in unresponsive:
+                            continue
+                        if self.views is not None and not self._usable_by(
+                            node.name, owner
+                        ):
+                            # The pusher's own view says this owner is
+                            # dead or gone — it acts on its local (maybe
+                            # stale) opinion; anti-entropy heals the gap
+                            # once the rumor mill catches up.
                             continue
                         if not self.network.reachable(node.name, owner):
                             continue
@@ -319,7 +459,14 @@ class DynamoCluster:
             for b_name in names[i + 1:]:
                 if a_name in unresponsive or b_name in unresponsive:
                     continue
-                if not (self.alive(a_name) and self.alive(b_name)):
+                if not self.alive(a_name):
+                    continue
+                # The initiator judges its peer by its own local view
+                # when gossip membership is attached; the oracle otherwise.
+                if self.views is not None:
+                    if not self._usable_by(a_name, b_name):
+                        continue
+                elif not self.alive(b_name):
                     continue
                 if not self.network.reachable(a_name, b_name):
                     continue
@@ -424,6 +571,14 @@ class DynamoCluster:
             node_name, "ring.join", moved_ranges=len(moved),
             nodes=len(self.nodes),
         )
+        if self.views is not None:
+            # The join is an ``alive`` rumor, not an oracle broadcast:
+            # the joiner bootstraps its view from one introducer (a full
+            # push-pull, which also plants the joiner in the introducer's
+            # view) and epidemic spread does the rest. Until the rumor
+            # reaches a node, that node's preference walks skip the
+            # joiner and hinted handoff carries its writes.
+            yield from self._bootstrap_gossip_view(node_name)
         # Pull each gained arc from every previous owner still reachable
         # (the first source ships the bulk; Merkle digests make the rest
         # near-free once the range agrees).
@@ -500,6 +655,18 @@ class DynamoCluster:
             # Straggler sweep: hints that would not deliver, stale copies
             # from older reshapes — push anything the current owners lack.
             stats["leftover_pushes"] = yield from self._drain_leftovers(node)
+        if self.views is not None and node_name in self.views:
+            # Announce the departure as a ``left`` rumor before the
+            # endpoint dies: the leaver marks itself LEFT and pushes one
+            # full exchange so at least one survivor carries the rumor on.
+            # (A dead node can't announce; survivors' probes will have
+            # convicted it to ``dead``, which is also a stable verdict.)
+            gossip = self.membership_gossips.pop(node_name)
+            view = self.views.pop(node_name)
+            if self.alive(node_name):
+                view.leave(node_name)
+                yield from gossip.round_once(force_full=True)
+            gossip.stop()
         self.membership.remove(node_name)
         node.endpoint.stop("decommissioned")
         if node.snapshotter is not None:
@@ -614,11 +781,17 @@ class DynamoClient:
         cluster: DynamoCluster,
         name: str,
         policy: Optional[RetryPolicy] = None,
+        view: Optional[Any] = None,
     ) -> None:
         self.cluster = cluster
         self.sim = cluster.sim
         self.name = name
         self.policy = policy or CLIENT_POLICY
+        # When routing by a node's gossip view, the coordinator skips
+        # peers that view holds dead/left — even if they are reachable.
+        # A stale view therefore degrades to sloppy quorum + hinted
+        # handoff, never to a stuck request.
+        self.view = view
         self.endpoint = Endpoint(cluster.network, name)
         self.endpoint.start()
         # Per-key high-water mark of this client's own clock component. A
@@ -720,7 +893,10 @@ class DynamoClient:
 
     def _can_reach(self, node_name: str) -> bool:
         """This coordinator's failure-detector view: a node is usable if
-        it is up *and* on our side of any partition."""
+        it is up *and* on our side of any partition — and, when routing
+        by a gossip view, not believed dead/left by that view."""
+        if self.view is not None and not self.view.is_usable(node_name):
+            return False
         return self.cluster.network.reachable(self.name, node_name)
 
     def _scatter(

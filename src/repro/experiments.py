@@ -145,6 +145,17 @@ EXPERIMENTS: Tuple[Experiment, ...] = (
         "benchmarks/bench_e18_mixed_txn.py",
     ),
     Experiment(
+        "E19", "Gossip membership dissemination",
+        "§6/§7.6: liveness as rumor — a membership change reaches every "
+        "local view in O(log n) gossip rounds (latency ∝ log(n)·period, "
+        "shrinking with fanout), a flapping member is convicted dead "
+        "only when its dips outlast the suspicion timeout, and no "
+        "conviction survives the member's own incarnation-bumped "
+        "refutation",
+        ("repro.cluster.gossip_membership", "repro.chaos.membership_divergence"),
+        "benchmarks/bench_e19_gossip_membership.py",
+    ),
+    Experiment(
         "A1", "Hinted handoff availability",
         "§6.1: sloppy quorum keeps PUTs available past strict-quorum failure",
         ("repro.dynamo",), "benchmarks/bench_a01_hinted_handoff.py",

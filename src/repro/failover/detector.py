@@ -110,6 +110,16 @@ class FailureDetector:
         self.on_convict(lambda node, _at: membership.mark_down(node))
         self.on_contradiction(lambda node, _at: membership.mark_up(node))
 
+    def bind_view(self, view: Any) -> None:
+        """Emit verdicts into a local, gossiped
+        :class:`~repro.cluster.gossip_membership.MembershipView` instead
+        of mutating a shared oracle: a conviction becomes a *suspicion*
+        (refutable, disseminated as a rumor), and a post-conviction
+        heartbeat — the contradiction — clears it by advancing the
+        member's incarnation past the accusation."""
+        self.on_convict(lambda node, _at: view.suspect(node))
+        self.on_contradiction(lambda node, _at: view.clear_suspicion(node))
+
     # ------------------------------------------------------------------
     # The poll loop
 

@@ -40,6 +40,10 @@ The five-plus workloads cover the kernel's load-bearing paths:
                       stabilize / apologize hot path (speculative-state
                       rebuilds, ordering batches, fenced takeover) under
                       the scripted leader cut.
+- ``gossip_membership`` — the SWIM-style rumor mill: 12 views probing,
+                      piggybacking deltas, and expiring suspicions while
+                      one member flaps (the per-round cost of liveness
+                      as rumor).
 """
 
 from __future__ import annotations
@@ -364,6 +368,53 @@ def mixed_txn(scale: int, trace: bool = True) -> WorkloadRun:
     )
 
 
+def gossip_membership(scale: int, trace: bool = True) -> WorkloadRun:
+    """SWIM-style membership churn: a 12-view rumor mill gossiping for
+    ``scale`` periods while one member flaps — probe rounds, delta
+    piggybacking, suspicion timers, and incarnation-bumped refutations
+    all on the hot path."""
+    from repro.cluster.gossip_membership import MembershipGossip, MembershipView
+    from repro.net.latency import FixedLatency
+    from repro.net.network import LinkConfig
+
+    sim = Simulator(seed=10)
+    sim.trace.enabled = trace
+    period = 0.25
+    horizon = scale * period
+    names = [f"m{i}" for i in range(12)]
+    network = Network(sim, default_link=LinkConfig(latency=FixedLatency(0.002)))
+    views, gossips = {}, {}
+    for name in names:
+        view = MembershipView(name, sim, suspicion_timeout=1.0)
+        view.seed(names)
+        views[name] = view
+        gossips[name] = MembershipGossip(
+            view, network=network, period=period, fanout=2
+        )
+        gossips[name].run(horizon)
+
+    def flap():
+        flapper = gossips[names[-1]]
+        while sim.now + 4.0 <= horizon:
+            yield Timeout(2.0)
+            flapper.stop()
+            yield Timeout(2.0)
+            flapper.endpoint.restart()
+            flapper.run(horizon)
+
+    sim.spawn(flap(), name="perf.mship.flap")
+    sim.run(until=horizon)
+    counters = sim.metrics.counters()
+    return WorkloadRun(
+        events=sim.steps,
+        notes={
+            "rounds": int(counters.get("membership.rounds", 0)),
+            "changes": int(counters.get("membership.changes", 0)),
+            "refutations": int(counters.get("membership.refutations", 0)),
+        },
+    )
+
+
 WORKLOADS: Dict[str, Workload] = {
     "sched_churn": Workload(
         sched_churn, quick_scale=150_000, full_scale=600_000,
@@ -413,6 +464,10 @@ WORKLOADS: Dict[str, Workload] = {
     "mixed_txn": Workload(
         mixed_txn, quick_scale=2, full_scale=8,
         description="mixed-consistency txn sweep: guess/stabilize/apologize",
+    ),
+    "gossip_membership": Workload(
+        gossip_membership, quick_scale=60, full_scale=240,
+        description="SWIM-style membership rumor mill with a flapping member",
     ),
 }
 

@@ -327,17 +327,23 @@ class Snapshotter:
         cadence: float,
         name: str = "snapshotter",
         cursor: Optional[Callable[[], int]] = None,
+        keep_chains: Optional[int] = None,
     ) -> None:
         if cadence <= 0:
             raise SimulationError(f"snapshot cadence {cadence} must be positive")
         if wal is None and cursor is None:
             raise SimulationError("snapshotter needs a WAL or a cursor")
+        if keep_chains is not None and keep_chains < 1:
+            raise SimulationError(
+                f"snapshot retention must keep at least one chain, got {keep_chains}"
+            )
         self.sim = sim
         self.wal = wal
         self.cursor = cursor
         self.capture = capture
         self.store = store
         self.cadence = cadence
+        self.keep_chains = keep_chains
         self.name = name
         self._proc: Optional[Any] = None
         self._dirty = False
@@ -357,6 +363,12 @@ class Snapshotter:
         cut_lsn = self.cursor() if self.cursor is not None else self.wal.durable_lsn
         state, meta = self.capture()
         record = yield from self.store.install(state, cut_lsn, meta)
+        if self.keep_chains is not None:
+            # Automatic retention: superseded chains are garbage the
+            # moment a compaction starts a new one — prune them as part
+            # of the checkpoint instead of leaking disk until an operator
+            # remembers to. The live chain is never touched.
+            yield from self.store.prune(self.keep_chains)
         # The loss window this checkpoint leaves open: log records past
         # the cut exist only in the WAL (volatile tail included). With a
         # bare cursor (no WAL) there is no durability horizon to trail.

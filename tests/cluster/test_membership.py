@@ -54,8 +54,10 @@ def test_add_remove_and_errors():
     assert len(membership) == 2
     with pytest.raises(SimulationError):
         membership.add(nodes["a"])        # duplicate
-    with pytest.raises(SimulationError):
-        membership.add_name("b")
+    membership.add_name("b")              # idempotent: re-adding is a no-op
+    assert membership.all_names() == ["a", "b"]
+    membership.add_name("a")              # and never sheds a backing node
+    assert membership.node("a") is nodes["a"]
     membership.remove("b")
     assert membership.all_names() == ["a"]
     assert not membership.is_alive("b")   # gone means not alive

@@ -15,7 +15,7 @@ def test_ids_unique_and_complete():
     ids = [e.id for e in EXPERIMENTS]
     assert len(ids) == len(set(ids))
     assert [e.id for e in EXPERIMENTS if e.id.startswith("E")] == [
-        f"E{i}" for i in range(1, 19)
+        f"E{i}" for i in range(1, 20)
     ]
     assert len([e for e in EXPERIMENTS if e.id.startswith("A")]) >= 6
 
